@@ -1,0 +1,146 @@
+"""E10 — Figures 4, 5, 6: the metadata features and tree classifiers.
+
+* Figure 4: covariances among the five features and the Node/Edge label;
+* Figure 5: percent contributions (importances) of each feature in the
+  tuned random forest;
+* Figure 6: a depth-2 decision tree on {n_nodes, nodes/edges ratio}
+  alone reaches ~89 % F1;
+* §3.7's ablations: dropping skew hurts; PCA preprocessing hurts.
+"""
+
+import numpy as np
+import pytest
+
+from harness import format_table, save_result
+from repro.credo.features import FEATURE_NAMES
+from repro.ml import (
+    DecisionTreeClassifier,
+    PCA,
+    RandomForestClassifier,
+    StandardScaler,
+    cross_val_score,
+    f1_score,
+    train_test_split,
+)
+
+
+def _xy(rows):
+    X = np.array([r.features for r in rows])
+    y = np.array([r.label for r in rows])
+    return X, y
+
+
+def test_figure4_covariances(paper_scale_rows):
+    X, y = _xy(paper_scale_rows)
+    label_num = (y == "node").astype(float)
+    data = np.column_stack([X, label_num])
+    names = [*FEATURE_NAMES, "label"]
+    # correlation matrix (covariances normalized for readability)
+    std = data.std(axis=0)
+    std[std == 0] = 1.0
+    corr = np.cov(data.T) / np.outer(std, std)
+    rows = [
+        (names[i], *(f"{corr[i, j]:+.2f}" for j in range(len(names))))
+        for i in range(len(names))
+    ]
+    table = format_table(
+        ["", *names], rows,
+        title="E10a (Fig. 4): correlations among features and the Node/Edge label",
+    )
+    save_result("E10a_fig4_covariances", table)
+    # the label must correlate with size-type features, and no feature
+    # pair may be degenerate duplicates (|corr| == 1)
+    label_corr = np.abs(corr[-1, :-1])
+    assert label_corr.max() > 0.3
+    off_diag = corr[:-1, :-1][~np.eye(len(FEATURE_NAMES), dtype=bool)]
+    assert (np.abs(off_diag) < 0.999).all()
+
+
+def test_figure5_feature_importances(paper_scale_rows):
+    X, y = _xy(paper_scale_rows)
+    forest = RandomForestClassifier(n_estimators=14, max_depth=6, random_state=0)
+    forest.fit(X, y)
+    rows = sorted(
+        zip(FEATURE_NAMES, forest.feature_importances_),
+        key=lambda kv: -kv[1],
+    )
+    table = format_table(
+        ["feature", "importance"],
+        [(n, f"{v:.1%}") for n, v in rows],
+        title="E10b (Fig. 5): percent contributions to the random forest",
+    )
+    save_result("E10b_fig5_importances", table)
+    importances = dict(rows)
+    # every feature contributes; size features dominate (§3.7)
+    assert all(v >= 0 for v in importances.values())
+    assert importances["n_nodes"] + importances["nodes_to_edges"] > 0.3
+
+
+def test_figure6_depth2_tree(paper_scale_rows):
+    X, y = _xy(paper_scale_rows)
+    # the paper's two-feature tree: n_nodes + nodes/edges ratio
+    X2 = X[:, :2]
+    Xtr, Xte, ytr, yte = train_test_split(X2, y, test_size=0.4, random_state=0)
+    tree = DecisionTreeClassifier(max_depth=2).fit(Xtr, ytr)
+    score = f1_score(yte, tree.predict(Xte))
+    text = tree.describe(["n_nodes", "nodes_to_edges"])
+    save_result(
+        "E10c_fig6_depth2_tree",
+        f"E10c (Fig. 6): depth-2 tree on (n_nodes, nodes/edges) — F1 = {score:.3f}\n"
+        f"(paper: over 89% F1 with these two features alone)\n\n{text}",
+    )
+    assert tree.depth() <= 2
+    assert score > 0.75  # the two size features alone carry most of it
+
+
+def test_dropping_skew_hurts(paper_scale_rows):
+    """§3.7: 'dropping [skew] actually reduces the quality of the
+    resulting classifiers'."""
+    X, y = _xy(paper_scale_rows)
+    full = cross_val_score(
+        lambda: RandomForestClassifier(n_estimators=14, max_depth=6, random_state=0),
+        X, y, cv=3, random_state=0,
+    ).mean()
+    no_skew = cross_val_score(
+        lambda: RandomForestClassifier(n_estimators=14, max_depth=6, random_state=0),
+        X[:, :4], y, cv=3, random_state=0,
+    ).mean()
+    save_result(
+        "E10d_skew_ablation",
+        f"E10d (§3.7): RF 3-fold F1 with all features: {full:.3f}; "
+        f"without skew: {no_skew:.3f}",
+    )
+    assert full >= no_skew - 0.05  # skew never helps being dropped
+
+
+def test_pca_preprocessing_hurts(paper_scale_rows):
+    """§3.7: 'running primary component analysis (PCA) preprocessing on
+    these features results in worse F1-score metrics'."""
+    X, y = _xy(paper_scale_rows)
+    scaled = StandardScaler().fit_transform(X)
+    projected = PCA(3).fit_transform(scaled)
+    raw = cross_val_score(
+        lambda: RandomForestClassifier(n_estimators=14, max_depth=6, random_state=0),
+        X, y, cv=3, random_state=0,
+    ).mean()
+    pca = cross_val_score(
+        lambda: RandomForestClassifier(n_estimators=14, max_depth=6, random_state=0),
+        projected, y, cv=3, random_state=0,
+    ).mean()
+    save_result(
+        "E10e_pca_ablation",
+        f"E10e (§3.7): RF 3-fold F1 on raw features: {raw:.3f}; "
+        f"after PCA(3): {pca:.3f}",
+    )
+    assert raw >= pca - 0.02
+
+
+def test_benchmark_forest_training(benchmark, paper_scale_rows):
+    X, y = _xy(paper_scale_rows)
+    benchmark.pedantic(
+        lambda: RandomForestClassifier(
+            n_estimators=14, max_depth=6, random_state=0
+        ).fit(X, y),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,188 @@
+"""E13 — §4.4 and Figure 12: portability of the classifier to Volta.
+
+The paper re-runs the suite on a V100 (p3.2xlarge) and evaluates the
+GTX 1070-trained random forest against the new ground-truth labels:
+
+* F1 drops from 94.7 % to 72.2 % — Volta's independent thread
+  scheduling and cheaper atomics flip some Node labels to Edge;
+* "the CUDA Edge implementation surpasses the CUDA Node implementation
+  in 8.3% more test cases", though the margins are small (0.27 s vs
+  0.30 s averages);
+* kernels speed up ~3.2x (Edge) and ~3.8x (Node) over Pascal;
+* Credo-vs-C-Edge keeps the Figure 11 shape with faster CUDA segments.
+"""
+
+import numpy as np
+import pytest
+
+from harness import format_table, geometric_mean, save_result
+from repro.ml import RandomForestClassifier, f1_score, train_test_split
+
+
+def _xy(rows):
+    return (
+        np.array([r.features for r in rows]),
+        np.array([r.label for r in rows]),
+    )
+
+
+def _matched(pascal_rows, volta_rows):
+    """Align the two datasets on (abbrev, use_case)."""
+    volta_index = {(r.abbrev, r.use_case): r for r in volta_rows}
+    pairs = []
+    for p in pascal_rows:
+        v = volta_index.get((p.abbrev, p.use_case))
+        if v is not None:
+            pairs.append((p, v))
+    return pairs
+
+
+def test_cross_architecture_f1(paper_scale_rows, volta_rows):
+    pairs = _matched(paper_scale_rows, volta_rows)
+    Xp, yp = _xy([p for p, _ in pairs])
+    yv = np.array([v.label for _, v in pairs])
+
+    # train on Pascal labels (60-40 split as in §4.3), then score the
+    # SAME model on the SAME rows against each architecture's ground
+    # truth — the difference isolates the porting penalty
+    Xtr, Xte, ytr, yte = train_test_split(Xp, yp, test_size=0.4, random_state=0)
+    forest = RandomForestClassifier(n_estimators=14, max_depth=6, random_state=0)
+    forest.fit(Xtr, ytr)
+    predictions = forest.predict(Xp)
+    pascal_f1 = f1_score(yp, predictions)
+    volta_f1 = f1_score(yv, predictions)
+    held_out_f1 = f1_score(yte, forest.predict(Xte))
+
+    flipped = float((yp != yv).mean())
+    save_result(
+        "E13a_portability_f1",
+        "E13a (§4.4): Pascal-trained random forest evaluated on Volta labels\n"
+        f"  held-out same-architecture F1    : {held_out_f1:.3f}  (paper: 0.947)\n"
+        f"  full-set F1 vs Pascal labels     : {pascal_f1:.3f}\n"
+        f"  full-set F1 vs Volta labels      : {volta_f1:.3f}  (paper: 0.722)\n"
+        f"  labels flipped by the architecture change: {flipped:.1%} "
+        "(paper: Edge overtakes Node in 8.3% more cases)\n"
+        "  (our hardware model flips fewer labels than the real Volta did, "
+        "so the F1 drop is milder — see EXPERIMENTS.md E13)",
+    )
+    # Shapes: porting strictly degrades the classifier, but it stays useful
+    assert volta_f1 < pascal_f1
+    assert volta_f1 > 0.5
+    assert 0.0 < flipped < 0.5
+
+
+def test_edge_gains_share_on_volta(paper_scale_rows, volta_rows):
+    pairs = _matched(paper_scale_rows, volta_rows)
+
+    def edge_share(rows):
+        labels = [r.label for r in rows]
+        return labels.count("edge") / len(labels)
+
+    pascal_share = edge_share([p for p, _ in pairs])
+    volta_share = edge_share([v for _, v in pairs])
+    save_result(
+        "E13b_edge_share",
+        f"E13b (§4.4): Edge-label share — Pascal {pascal_share:.1%}, "
+        f"Volta {volta_share:.1%} (paper: +8.3 points on Volta)",
+    )
+    assert volta_share >= pascal_share
+
+
+def test_volta_kernels_faster(paper_scale_rows, volta_rows):
+    """§4.4: Edge ~3.2x and Node ~3.8x faster than Pascal."""
+    pairs = _matched(paper_scale_rows, volta_rows)
+    node_ratios, edge_ratios = [], []
+    for p, v in pairs:
+        if "cuda-node" in p.times and "cuda-node" in v.times:
+            node_ratios.append(p.times["cuda-node"] / v.times["cuda-node"])
+        if "cuda-edge" in p.times and "cuda-edge" in v.times:
+            edge_ratios.append(p.times["cuda-edge"] / v.times["cuda-edge"])
+    node_gain = geometric_mean(node_ratios)
+    edge_gain = geometric_mean(edge_ratios)
+    save_result(
+        "E13c_volta_speedup",
+        f"E13c (§4.4): V100 vs GTX1070 modeled time — CUDA Node {node_gain:.2f}x, "
+        "CUDA Edge "
+        f"{edge_gain:.2f}x (paper: 3.8x and 3.2x on total runtimes; our model's "
+        "totals stay transfer/context-bound so the factors are smaller — "
+        "see EXPERIMENTS.md E13)",
+    )
+    # Shapes: Volta is strictly faster on both paradigms, and the Edge
+    # paradigm — whose kernels are atomics-bound — gains more than Node,
+    # which is the mechanism that flips labels (§4.4)
+    assert node_gain > 1.05
+    assert edge_gain > 1.2
+    assert edge_gain > node_gain
+
+
+def test_measurement_noise_widens_the_f1_gap(paper_scale_rows, volta_rows):
+    """§4.4's near-tie regime: on the V100 the Node/Edge margins shrink
+    to measurement noise (0.27 s vs 0.30 s averages), so measured labels
+    are partly coin flips — which is what pushes the paper's ported F1
+    down to 72.2 %.  Relabeling our Volta dataset under 15 % lognormal
+    runtime jitter reproduces the effect."""
+    from repro.credo.training import relabel_with_jitter
+
+    pairs = _matched(paper_scale_rows, volta_rows)
+    Xp, yp = _xy([p for p, _ in pairs])
+    forest = RandomForestClassifier(n_estimators=14, max_depth=6, random_state=0)
+    Xtr, _Xte, ytr, _yte = train_test_split(Xp, yp, test_size=0.4, random_state=0)
+    forest.fit(Xtr, ytr)
+    predictions = forest.predict(Xp)
+
+    clean_f1 = f1_score(np.array([v.label for _, v in pairs]), predictions)
+    noisy_scores = []
+    for seed in range(5):
+        noisy = relabel_with_jitter([v for _, v in pairs], scale=0.15, seed=seed)
+        noisy_scores.append(f1_score(np.array([r.label for r in noisy]), predictions))
+    noisy_f1 = float(np.mean(noisy_scores))
+    save_result(
+        "E13e_noise_sensitivity",
+        "E13e (§4.4): cross-architecture F1 under measured-runtime noise\n"
+        f"  deterministic Volta labels : {clean_f1:.3f}\n"
+        f"  15% runtime jitter (mean of 5 seeds): {noisy_f1:.3f}  "
+        "(paper: 0.722 — their labels came from measured near-tie runtimes)",
+    )
+    assert noisy_f1 < clean_f1
+    assert noisy_f1 > 0.5
+
+
+def test_figure12_credo_vs_cedge_on_volta(volta_rows):
+    from repro.credo.selector import CredoSelector, cuda_pivot_nodes
+
+    selector = CredoSelector().fit(volta_rows)
+    rows_out = []
+    wins = 0
+    total = 0
+    for row in volta_rows:
+        n_nodes = row.features[0]
+        if n_nodes <= 1_000:
+            choice = "c-edge"
+        else:
+            paradigm = str(selector.classifier.predict(row.features.reshape(1, -1))[0])
+            platform = "cuda" if n_nodes >= cuda_pivot_nodes(row.n_beliefs) else "c"
+            choice = f"{platform}-{paradigm}"
+        credo_t = row.times.get(choice, row.times[row.best_backend])
+        cedge_t = row.times["c-edge"]
+        if n_nodes >= 100_000:
+            total += 1
+            wins += credo_t < cedge_t
+        rows_out.append((row.abbrev, row.use_case, choice, credo_t, cedge_t))
+    table = format_table(
+        ["graph", "use case", "Credo choice", "Credo (s)", "C Edge (s)"],
+        rows_out[:30],
+        title="E13d (Fig. 12): Credo vs C Edge on the V100 (first 30 variants)",
+    )
+    save_result("E13d_fig12_credo_volta", table)
+    assert total > 0
+    assert wins / total > 0.8
+
+
+def test_benchmark_volta_run(benchmark):
+    from repro.backends.cuda_backends import CudaNodeBackend
+    from repro.graphs.suite import build_graph
+
+    graph, _ = build_graph("100kx400k", "binary", profile="quick")
+    benchmark.pedantic(
+        lambda: CudaNodeBackend("v100").run(graph.copy()), rounds=1, iterations=1
+    )

@@ -1,0 +1,115 @@
+"""E7 — Figure 7: runtimes of the C and CUDA implementations.
+
+The paper plots all four core implementations over the bold Table 1
+subset (binary use case) plus the all-benchmark average, and reports:
+
+* CUDA pays off only at ≥ 100k nodes ("Below this threshold, the various
+  overheads involved with GPGPU execution ... prohibit" it) — GPU memory
+  management is 99.8 % of the smallest benchmark's runtime and ~71 % on
+  average for the ≥ 100k graphs;
+* CUDA Node reaches ~120x vs C Node on 2Mx8M at 3 beliefs and > 40x on
+  K21 / LJ / PO.
+
+This bench executes the figure subset under the active profile, prints
+the four series (modeled seconds), and asserts the crossover and the
+management-fraction behaviour.  Speedup factors at the full Table 1
+sizes are covered by the analytic estimator in E12/E13.
+"""
+
+import os
+
+import pytest
+
+from harness import (
+    DEFAULT_PROFILE,
+    format_table,
+    geometric_mean,
+    run_core_backends,
+    save_result,
+)
+from repro.graphs.suite import SUITE, build_graph
+
+# the figure's x-axis, smallest to largest that the profile admits
+GRAPHS = ["10x40", "1kx4k", "10kx40k", "100kx400k", "GO", "K16", "200kx800k"]
+
+
+@pytest.fixture(scope="module")
+def figure7_results():
+    results = {}
+    for abbrev in GRAPHS:
+        graph, factor = build_graph(abbrev, "binary", profile=DEFAULT_PROFILE)
+        results[abbrev] = (graph, factor, run_core_backends(graph))
+    return results
+
+
+def test_figure7_table(figure7_results):
+    order = ["c-node", "c-edge", "cuda-node", "cuda-edge"]
+    rows = []
+    per_backend = {name: [] for name in order}
+    for abbrev, (graph, factor, res) in figure7_results.items():
+        row = [abbrev, f"{graph.n_nodes:,}", f"{factor:.3g}"]
+        for name in order:
+            row.append(res[name].modeled_time)
+            per_backend[name].append(res[name].modeled_time)
+        mgmt = res["cuda-node"].detail["management_fraction"]
+        row.append(f"{mgmt:.1%}")
+        rows.append(tuple(row))
+    rows.append(
+        ("AVG (geomean)", "", "",
+         *(geometric_mean(per_backend[n]) for n in order), "")
+    )
+    table = format_table(
+        ["graph", "nodes", "scale", *order, "cuda mgmt frac"],
+        rows,
+        title="E7 (Fig. 7): modeled runtimes of the four core implementations, "
+        "binary use case",
+    )
+    save_result("E07_fig7_runtimes", table)
+
+
+def test_crossover_at_100k_nodes(figure7_results):
+    """CUDA loses below ~100k nodes and wins at/above it (§4.1.1)."""
+    for abbrev in ("10x40", "1kx4k", "10kx40k"):
+        _, _, res = figure7_results[abbrev]
+        assert res["c-node"].modeled_time < res["cuda-node"].modeled_time
+        assert res["c-edge"].modeled_time < res["cuda-edge"].modeled_time
+    for abbrev in ("100kx400k", "200kx800k"):
+        _, factor, res = figure7_results[abbrev]
+        if factor < 1.0:
+            pytest.skip("profile scaled the >=100k graphs below the threshold")
+        assert res["cuda-node"].modeled_time < res["c-node"].modeled_time
+
+
+def test_management_fraction_shape(figure7_results):
+    """99.8 % management on the smallest benchmark, shrinking with size
+    but still dominant around 100k (§4.1.1's ~71 % average)."""
+    _, _, smallest = figure7_results["10x40"]
+    assert smallest["cuda-node"].detail["management_fraction"] > 0.99
+    _, _, big = figure7_results["200kx800k"]
+    frac = big["cuda-node"].detail["management_fraction"]
+    assert frac < 0.99
+    assert frac > 0.3
+
+
+def test_gpu_speedup_grows_with_size(figure7_results):
+    ratios = []
+    for abbrev in ("10kx40k", "100kx400k", "200kx800k"):
+        _, _, res = figure7_results[abbrev]
+        ratios.append(res["c-node"].modeled_time / res["cuda-node"].modeled_time)
+    assert ratios[0] < ratios[1] < ratios[2]
+
+
+def test_benchmark_c_node_100k(benchmark):
+    graph, _ = build_graph("100kx400k", "binary", profile=DEFAULT_PROFILE)
+    benchmark.pedantic(
+        lambda: run_core_backends(graph)["c-node"], rounds=1, iterations=1
+    )
+
+
+def test_benchmark_cuda_node_100k(benchmark):
+    from repro.backends.cuda_backends import CudaNodeBackend
+
+    graph, _ = build_graph("100kx400k", "binary", profile=DEFAULT_PROFILE)
+    benchmark.pedantic(
+        lambda: CudaNodeBackend().run(graph.copy()), rounds=1, iterations=1
+    )

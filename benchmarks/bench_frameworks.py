@@ -1,0 +1,92 @@
+"""E15 — §5.2: GPU graph frameworks vs BP (extension).
+
+The paper grants that Gunrock / nvGRAPH / Groute post "impressive
+results" on the classic algorithms but argues "these frameworks cannot
+perform complex graph processing on the level of BP" because of the CSR
+one-scalar-per-node data model.  This experiment:
+
+1. runs SSSP / BFS / PageRank / components through our frontier and
+   semiring frameworks on a suite graph (they work, fast);
+2. enumerates and *demonstrates* the structural mismatches that lock BP
+   out (``why_not_bp``);
+3. confirms the same graph runs fine through Credo.
+"""
+
+import numpy as np
+import pytest
+
+from harness import format_table, save_result
+from repro.backends.c_backends import CEdgeBackend
+from repro.frameworks import (
+    bfs_depths,
+    connected_components,
+    pagerank,
+    sssp,
+    why_not_bp,
+)
+from repro.frameworks.csr import CsrGraph
+from repro.graphs.suite import build_graph
+
+
+@pytest.fixture(scope="module")
+def suite_csr():
+    graph, _ = build_graph("GO", "binary", profile="smoke")
+    return graph, CsrGraph.from_belief_graph(graph)
+
+
+def test_frameworks_handle_classic_algorithms(suite_csr):
+    import time
+
+    graph, csr = suite_csr
+    rows = []
+    for name, fn in [
+        ("SSSP", lambda: sssp(csr, 0)),
+        ("BFS", lambda: bfs_depths(csr, 0)),
+        ("PageRank", lambda: pagerank(csr, max_iterations=100)),
+        ("Components", lambda: connected_components(csr)),
+    ]:
+        t0 = time.perf_counter()
+        out = fn()
+        dt = time.perf_counter() - t0
+        rows.append((name, f"{dt * 1e3:.1f} ms", f"{np.asarray(out).shape}"))
+    table = format_table(
+        ["algorithm", "wall time", "output"],
+        rows,
+        title="E15a (§5.2): the classic algorithms run cleanly on the "
+        "frontier/semiring frameworks",
+    )
+    save_result("E15a_framework_algorithms", table)
+    pr = pagerank(csr, max_iterations=100)
+    assert pr.sum() == pytest.approx(1.0)
+
+
+def test_bp_locked_out_but_credo_runs(suite_csr):
+    graph, _csr = suite_csr
+    limits = why_not_bp(graph)
+    lines = ["E15b (§5.2): why BP does not fit the CSR frameworks", ""]
+    for lim in limits:
+        lines.append(f"* requirement : {lim.requirement}")
+        lines.append(f"  framework   : {lim.framework_assumption}")
+        lines.append(f"  demonstrated: {lim.demonstrated_by}")
+        lines.append("")
+    result = CEdgeBackend().run(graph.copy())
+    lines.append(
+        f"...while Credo's C Edge runs the same graph in "
+        f"{result.modeled_time:.3f}s modeled ({result.iterations} iterations)."
+    )
+    save_result("E15b_why_not_bp", "\n".join(lines))
+    assert len(limits) >= 4
+    assert sum("rejected" in l.demonstrated_by for l in limits) >= 2
+    assert result.converged
+
+
+def test_benchmark_framework_pagerank(benchmark, suite_csr):
+    _, csr = suite_csr
+    benchmark.pedantic(
+        lambda: pagerank(csr, max_iterations=50), rounds=2, iterations=1
+    )
+
+
+def test_benchmark_framework_sssp(benchmark, suite_csr):
+    _, csr = suite_csr
+    benchmark.pedantic(lambda: sssp(csr, 0), rounds=2, iterations=1)

@@ -1,0 +1,114 @@
+"""E14 — §5.1: the related-work comparison (extension).
+
+The paper contrasts Credo's single-machine times against published BP
+systems:
+
+* Ma et al. (40-core pthreads, custom scheduler): ~4 s for a ~4,000-node
+  graph — "we can process a similar graph in about 1ms";
+* Gonzalez et al. (MapReduce splash BP): ~12 s for a 460,000-node graph —
+  Credo "0.7s";
+* Gonzalez et al. (40 servers, pthreads+OpenMPI): 6.4 s for a
+  58,000-edge graph — Credo "0.06s";
+* Kang et al. (MPI, billion-edge scale): "hours to process our benchmark
+  graphs" versus Credo's "2-3s", because of "network latencies from the
+  frequent message passing inherent to BP".
+
+Each competitor is modeled with the matching execution substrate: the
+multithreaded scheduler via the OpenMP backend (dynamic scheduling), the
+cluster systems via the distributed backend with MapReduce or MPI
+framework overheads.  Credo's side is its best single-machine backend.
+"""
+
+import pytest
+
+from harness import format_table, save_result
+from repro.backends.c_backends import CEdgeBackend
+from repro.backends.cuda_backends import CudaNodeBackend
+from repro.backends.distributed import (
+    ETHERNET_1G,
+    INFINIBAND,
+    MAPREDUCE,
+    DistributedBackend,
+)
+from repro.backends.openmp import OpenMPBackend
+from repro.graphs.suite import build_graph
+from repro.graphs.synthetic import synthetic_graph
+
+
+def _credo_time(graph) -> float:
+    local_edge = CEdgeBackend().run(graph.copy()).modeled_time
+    local_cuda = CudaNodeBackend().run(graph.copy()).modeled_time
+    return min(local_edge, local_cuda)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    rows = []
+
+    # Ma et al.: 40-thread custom scheduler on one box, ~4k-node graph
+    g = synthetic_graph(4_000, 16_000, seed=11)
+    competitor = OpenMPBackend(threads=8, schedule="dynamic").run(g.copy()).modeled_time
+    rows.append(("Ma et al. (pthreads, 4k nodes)", "4 s", "~1 ms",
+                 competitor, _credo_time(g)))
+
+    # Gonzalez et al. MapReduce, ~460k nodes (density-preserved, capped)
+    g = synthetic_graph(200_000, 400_000, seed=12)
+    competitor = DistributedBackend(MAPREDUCE).run(g.copy()).modeled_time
+    rows.append(("Gonzalez et al. (MapReduce, 460k nodes)", "12 s", "0.7 s",
+                 competitor, _credo_time(g)))
+
+    # Gonzalez et al. 40 servers + OpenMPI, 58k-edge graph (a 2010-era
+    # commodity interconnect; per-edge splash scheduling forces one
+    # message per boundary edge per superstep)
+    g = synthetic_graph(20_000, 58_000, seed=13)
+    competitor = DistributedBackend(
+        ETHERNET_1G, messages_per_round=256
+    ).run(g.copy()).modeled_time
+    rows.append(("Gonzalez et al. (40 servers, 58k edges)", "6.4 s", "0.06 s",
+                 competitor, _credo_time(g)))
+
+    # Kang et al. commodity-MPI at our benchmark scale
+    g = synthetic_graph(200_000, 800_000, seed=14)
+    competitor = DistributedBackend(ETHERNET_1G).run(g.copy()).modeled_time
+    rows.append(("Kang et al. (commodity MPI, suite scale)", "hours", "2-3 s",
+                 competitor, _credo_time(g)))
+    return rows
+
+
+def test_related_work_table(comparison):
+    table = format_table(
+        ["setting", "paper: theirs", "paper: Credo",
+         "our competitor model (s)", "our Credo (s)", "ratio"],
+        [(a, b, c, d, e, f"{d / e:.0f}x") for a, b, c, d, e in comparison],
+        title="E14 (§5.1): single-machine Credo vs prior parallel BP systems",
+    )
+    save_result("E14_related_work", table)
+
+
+def test_credo_beats_every_prior_system(comparison):
+    for label, _pt, _pc, competitor, credo in comparison:
+        assert competitor > 3 * credo, label
+
+
+def test_mapreduce_overhead_is_the_dominant_cost(comparison):
+    """Per-iteration job launches dwarf the actual BP math — why splash
+    BP on MapReduce took 12 s for a graph Credo does in sub-seconds."""
+    label, _pt, _pc, competitor, credo = comparison[1]
+    assert competitor > 20 * credo
+
+
+def test_latency_is_the_mpi_mechanism():
+    """§5.1: swap the commodity interconnect for an HPC fabric and the
+    gap shrinks — it was the network, not the math."""
+    graph = synthetic_graph(50_000, 200_000, seed=15)
+    slow = DistributedBackend(ETHERNET_1G).run(graph.copy()).modeled_time
+    fast = DistributedBackend(INFINIBAND).run(graph.copy()).modeled_time
+    assert slow > 2 * fast
+
+
+def test_benchmark_distributed_run(benchmark):
+    graph, _ = build_graph("10kx40k", "binary", profile="quick")
+    benchmark.pedantic(
+        lambda: DistributedBackend(ETHERNET_1G).run(graph.copy()),
+        rounds=2, iterations=1,
+    )

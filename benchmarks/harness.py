@@ -1,0 +1,93 @@
+"""Shared machinery for the experiment benchmarks.
+
+Every experiment (E1–E13, see DESIGN.md) regenerates one table or figure
+of the paper as a plain-text table: the same rows/series the paper plots,
+with our measured/modeled values next to the paper's reported numbers
+where it states them.  Tables are printed and also written to
+``benchmarks/results/`` so a ``pytest benchmarks/ --benchmark-only`` run
+leaves the full reproduction record on disk (EXPERIMENTS.md indexes it).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Sequence
+
+from repro.backends.base import Backend, RunResult
+from repro.backends.c_backends import CEdgeBackend, CNodeBackend
+from repro.backends.cuda_backends import CudaEdgeBackend, CudaNodeBackend
+from repro.core.graph import BeliefGraph
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: benchmark-suite profile for the executed experiments; override with
+#: REPRO_PROFILE=ci for larger builds or =paper for Table 1 sizes
+DEFAULT_PROFILE = os.environ.get("REPRO_PROFILE", "quick")
+
+
+def core_backends(device: str = "gtx1070") -> dict[str, Backend]:
+    """The four implementations Credo arbitrates between (§3.7)."""
+    return {
+        "c-node": CNodeBackend(),
+        "c-edge": CEdgeBackend(),
+        "cuda-node": CudaNodeBackend(device),
+        "cuda-edge": CudaEdgeBackend(device),
+    }
+
+
+def run_core_backends(
+    graph: BeliefGraph, device: str = "gtx1070"
+) -> dict[str, RunResult]:
+    """Execute all four core backends on copies of ``graph``."""
+    return {
+        name: backend.run(graph.copy())
+        for name, backend in core_backends(device).items()
+    }
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned plain-text table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def save_result(experiment: str, text: str) -> Path:
+    """Write an experiment's table to benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[saved to {path}]")
+    return path
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    import math
+
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

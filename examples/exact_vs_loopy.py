@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Exact inference vs loopy BP (extension showcase).
+
+Compiles a grid MRF into a junction tree (the Bistaffa et al. related-work
+approach, §5.1) for exact marginals, then measures how close loopy BP —
+in both the paper's literal Algorithm 1 broadcast rule and standard
+sum-product — gets as the coupling strength rises toward the critical
+regime.
+
+Run:  python examples/exact_vs_loopy.py [rows] [cols]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.junction import JunctionTree, treewidth_upper_bound
+from repro.core.loopy import LoopyBP
+from repro.core.residual import ResidualBP
+from repro.graphs.grids import grid_graph
+
+
+def main() -> None:
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    cols = int(sys.argv[2]) if len(sys.argv) > 2 else 14
+    crit = ConvergenceCriterion(threshold=1e-6, max_iterations=500)
+
+    print(f"=== {rows}x{cols} grid MRF "
+          f"(2^{rows * cols} configurations — enumeration is hopeless) ===")
+
+    header = f"{'coupling':>8s} {'treewidth':>9s} {'sum-product':>12s} {'broadcast':>10s} {'residual':>9s}"
+    print(header)
+    for coupling in (0.6, 0.75, 0.9):
+        g = grid_graph(rows, cols, seed=1, coupling=coupling)
+        tw = treewidth_upper_bound(g)
+        t0 = time.perf_counter()
+        exact = JunctionTree(g).marginals()
+        jt_time = time.perf_counter() - t0
+
+        sp = LoopyBP(update_rule="sum_product", criterion=crit).run(g.copy())
+        bc = LoopyBP(update_rule="broadcast", criterion=crit).run(g.copy())
+        rs = ResidualBP(criterion=crit).run(g.copy())
+        print(
+            f"{coupling:8.2f} {tw:9d} "
+            f"{np.abs(sp.beliefs - exact).max():12.2e} "
+            f"{np.abs(bc.beliefs - exact).max():10.2e} "
+            f"{np.abs(rs.beliefs - exact).max():9.2e}"
+        )
+    print(f"\n(junction-tree exact inference took {jt_time * 1e3:.1f} ms "
+          "on the last grid)")
+    print("\nTakeaways: proper sum-product tracks the exact marginals closely "
+          "in the weak-coupling regime;\nthe paper's literal broadcast rule "
+          "(Algorithm 1) double-counts feedback and drifts much earlier;\n"
+          "residual scheduling converges to the same fixed point as "
+          "synchronous sum-product.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Image correction on a lattice MRF (the paper's third use case).
+
+A synthetic 32-level image is corrupted with Gaussian noise; each pixel
+holds a belief over the 32 intensity levels and an edge-preserving
+truncated smoothness potential couples neighbours.  Sum-product BP
+computes posterior marginals, max-product (our MAP extension) computes
+the most probable restoration, and both are compared against the noisy
+input.
+
+Run:  python examples/image_denoising.py [size]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core.loopy import LoopyBP
+from repro.usecases.image import decode_image, noisy_image_graph
+
+RAMP = " .:-=+*#%@"
+
+
+def make_test_image(size: int) -> np.ndarray:
+    """Blocks, a gradient strip and a bright square — edges plus ramps."""
+    img = np.zeros((size, size), dtype=np.int64)
+    img[:, size // 2 :] = 20
+    img[size // 4 : size // 2, :] = np.linspace(4, 28, size).astype(np.int64)
+    q = size // 3
+    img[-q:, -q:] = 30
+    return img
+
+
+def ascii_render(img: np.ndarray) -> str:
+    scale = (len(RAMP) - 1) / 31
+    return "\n".join(
+        "".join(RAMP[int(round(v * scale))] for v in row) for row in img
+    )
+
+
+def main() -> None:
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 24
+    clean = make_test_image(size)
+    graph, noisy = noisy_image_graph(clean, noise_sigma=3.0, seed=3)
+    print(f"lattice MRF: {graph}")
+
+    print("\n--- clean ---")
+    print(ascii_render(clean))
+    print("\n--- noisy (sigma = 3.0) ---")
+    print(ascii_render(noisy))
+
+    marginals = LoopyBP(paradigm="edge").run(graph.copy())
+    restored = decode_image(marginals.beliefs, clean.shape)
+    print(f"\n--- sum-product restoration ({marginals.iterations} iterations) ---")
+    print(ascii_render(restored))
+
+    map_result = LoopyBP(semiring="max").run(graph.copy())
+    map_restored = decode_image(map_result.beliefs, clean.shape)
+    print(f"\n--- max-product (MAP) restoration ({map_result.iterations} iterations) ---")
+    print(ascii_render(map_restored))
+
+    def err(img):
+        return float(np.abs(img.astype(float) - clean).mean())
+
+    print(f"\nmean absolute error: noisy {err(noisy):.2f} | "
+          f"sum-product {err(restored):.2f} | max-product {err(map_restored):.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Credo: optimized belief propagation for parallel processing.
+
+A full reproduction of *"Rumor Has It: Optimizing the Belief Propagation
+Algorithm for Parallel Processing"* (Trotter, Wood & Huang, ICPP Workshops
+2020).  The package provides:
+
+``repro.core``
+    The belief-propagation algorithms themselves: the classic three-phase
+    tree algorithm, loopy BP with per-node and per-edge processing
+    paradigms, work queues, convergence checks and the shared
+    joint-probability-matrix refinement.
+
+``repro.io``
+    Input processing: a full BIF parser, an XML-BIF parser and the paper's
+    streaming MTX-derived dual-file format.
+
+``repro.gpusim``
+    A SIMT GPU cost-model simulator (Pascal / Volta / Ampere device specs)
+    standing in for the CUDA hardware used by the paper.
+
+``repro.backends``
+    Execution engines: reference Python, optimized single-threaded
+    ("C Node" / "C Edge"), simulated OpenMP and OpenACC, and the CUDA
+    Node / Edge implementations running on :mod:`repro.gpusim`.
+
+``repro.ml``
+    A from-scratch classifier library (decision tree, random forest, kNN,
+    naive Bayes, linear SVM, MLP, gradient boosting) standing in for
+    scikit-learn.
+
+``repro.credo``
+    The end-to-end system: metadata feature extraction, the rule + random
+    forest backend selector and the ``Credo`` facade.
+
+``repro.graphs`` / ``repro.usecases``
+    Workload generators for Table 1 of the paper and the three evaluation
+    use cases (binary beliefs, virus propagation, image correction).
+
+Quickstart::
+
+    >>> from repro import BeliefGraph, LoopyBP
+    >>> from repro.graphs import synthetic_graph
+    >>> g = synthetic_graph(100, 400, n_states=2, seed=0)
+    >>> result = LoopyBP().run(g)
+    >>> result.converged
+    True
+"""
+
+__version__ = "1.0.0"
+
+# Lazy attribute loading (PEP 562) keeps `import repro` cheap and lets the
+# subpackages be imported independently.
+_EXPORTS = {
+    "BeliefGraph": ("repro.core.graph", "BeliefGraph"),
+    "PotentialStore": ("repro.core.potentials", "PotentialStore"),
+    "SharedPotentialStore": ("repro.core.potentials", "SharedPotentialStore"),
+    "LoopyBP": ("repro.core.loopy", "LoopyBP"),
+    "LoopyConfig": ("repro.core.loopy", "LoopyConfig"),
+    "TreeBP": ("repro.core.tree_bp", "TreeBP"),
+    "RunResult": ("repro.backends.base", "RunResult"),
+    "Credo": ("repro.credo.runner", "Credo"),
+    "from_networkx": ("repro.interop", "from_networkx"),
+    "to_networkx": ("repro.interop", "to_networkx"),
+}
+
+__all__ = [*_EXPORTS, "__version__"]
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return sorted(__all__)

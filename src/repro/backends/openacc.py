@@ -1,0 +1,117 @@
+"""Simulated OpenACC backend (paper §2.4).
+
+The paper's OpenACC port runs the same loops on the GPU via pragmas but
+inherits two handicaps versus hand-written CUDA:
+
+* **imprecise convergence** — "BP executes for far more iterations …
+  due to OpenACC's API failing to precisely compute the convergence
+  check", so runs "terminat[e] much closer to the cap on iterations";
+* **no work queues** — they "require finer grained control than what
+  OpenACC offers";
+* **scheduler overhead** — the paper had to override the default
+  scheduler that "tr[ies] to schedule full transfers of the data between
+  the CPU and GPU after every iteration"; even tuned, each generated
+  kernel pays extra launch and bookkeeping cost, and convergence
+  transfers happen per batched-iteration window.
+
+With those mitigations, OpenACC's *best* result was 1.25× on the K21
+Edge benchmark, generally trailing the C implementations — the shape the
+E6 benchmark asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.backends.base import Backend, BackendUnsupportedError, RunResult
+from repro.backends.cuda_backends import _graph_device_bytes
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.graph import BeliefGraph
+from repro.core.loopy import LoopyBP
+from repro.gpusim.arch import DeviceSpec, get_device
+from repro.gpusim.device import GpuDevice, GpuOutOfMemoryError
+
+__all__ = ["OpenACCBackend"]
+
+_FSIZE = 4
+
+#: convergence slack modelling the imprecise reduction (§2.4); the
+#: effective threshold shrinks, dragging runs toward the iteration cap
+_ACC_CONVERGENCE_SLACK = 4.0
+#: pragma-generated kernels pay extra launch overhead vs hand CUDA
+_ACC_LAUNCH_MULTIPLIER = 3.0
+#: runtime bookkeeping per iteration (present-table checks etc.), seconds
+_ACC_RUNTIME_OVERHEAD = 25e-6
+#: iterations per convergence d2h batch after the scheduler override
+_ACC_BATCH = 8
+
+
+class OpenACCBackend(Backend):
+    """Pragma-offloaded GPU execution with §2.4's overheads."""
+
+    name = "openacc"
+    platform = "gpu"
+
+    def __init__(self, device: DeviceSpec | str = "gtx1070", *, paradigm: str = "edge"):
+        self.device_spec = get_device(device)
+        self.paradigm = paradigm
+
+    def supports(self, graph: BeliefGraph) -> bool:
+        if not graph.uniform:
+            return False
+        total = sum(_graph_device_bytes(graph, work_queue=False).values())
+        return total <= self.device_spec.vram_bytes
+
+    def run(
+        self,
+        graph: BeliefGraph,
+        *,
+        criterion: ConvergenceCriterion | None = None,
+        work_queue: bool = True,  # ignored: OpenACC cannot express them (§3.5)
+        update_rule: str = "sum_product",
+    ) -> RunResult:
+        assert self.paradigm is not None
+        crit = criterion or ConvergenceCriterion()
+        # The imprecise reduction: harder effective threshold → more iters.
+        acc_criterion = replace(crit, slack=_ACC_CONVERGENCE_SLACK)
+        config = self._loopy_config(self.paradigm, acc_criterion, False, update_rule)
+
+        device = GpuDevice(self.device_spec)
+        buffers = _graph_device_bytes(graph, work_queue=False)
+        try:
+            for name, nbytes in buffers.items():
+                device.alloc(name, nbytes)
+        except GpuOutOfMemoryError as exc:
+            raise BackendUnsupportedError(
+                f"{self.name}: graph does not fit in {self.device_spec.name} VRAM"
+            ) from exc
+        if "potentials" not in buffers:  # shared matrix: one extra buffer
+            device.alloc("potentials", max(graph.potentials.nbytes(), 1))
+        device.h2d(sum(buffers.values()) + graph.potentials.nbytes(), calls=len(buffers) + 1)
+
+        loopy, wall = self._timed(LoopyBP(config).run, graph)
+
+        belief_bytes = 4.0 * graph.n_states
+        for i, sweep in enumerate(loopy.run_stats.per_iteration, start=1):
+            boosted = replace(
+                sweep,
+                kernel_launches=int(
+                    max(sweep.kernel_launches, 1) * _ACC_LAUNCH_MULTIPLIER
+                ),
+            )
+            device.launch(boosted, random_access_bytes=belief_bytes)
+            device.elapsed += _ACC_RUNTIME_OVERHEAD
+            device.breakdown.launch += _ACC_RUNTIME_OVERHEAD
+            if i % _ACC_BATCH == 0:
+                device.d2h(_FSIZE)
+        device.d2h(graph.n_nodes * graph.n_states * _FSIZE)
+
+        return self._result_from_loopy(
+            self.name,
+            loopy,
+            wall,
+            device.elapsed,
+            device=self.device_spec.name,
+            breakdown=device.breakdown,
+            effective_threshold=acc_criterion.effective_threshold(),
+        )

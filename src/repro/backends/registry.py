@@ -1,0 +1,52 @@
+"""Backend registry: names → constructors.
+
+Credo's selector (paper §3.7) works in terms of these four names —
+``c-node``, ``c-edge``, ``cuda-node``, ``cuda-edge`` — plus the auxiliary
+engines used in the preliminary §2.4 study.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.backends.base import Backend
+from repro.backends.c_backends import CEdgeBackend, CNodeBackend
+from repro.backends.cuda_backends import CudaEdgeBackend, CudaNodeBackend
+from repro.backends.distributed import DistributedBackend
+from repro.backends.openacc import OpenACCBackend
+from repro.backends.openmp import OpenMPBackend
+from repro.backends.reference import ReferenceBackend
+
+__all__ = ["BACKENDS", "CORE_BACKENDS", "get_backend", "available_backends"]
+
+BACKENDS: dict[str, Callable[..., Backend]] = {
+    "reference": ReferenceBackend,
+    "c-node": CNodeBackend,
+    "c-edge": CEdgeBackend,
+    "cuda-node": CudaNodeBackend,
+    "cuda-edge": CudaEdgeBackend,
+    "openmp": OpenMPBackend,
+    "openacc": OpenACCBackend,
+    "distributed": DistributedBackend,
+}
+
+#: the four implementations Credo chooses among (§3.7)
+CORE_BACKENDS = ("c-node", "c-edge", "cuda-node", "cuda-edge")
+
+
+def get_backend(name: str, **kwargs) -> Backend:
+    """Instantiate a backend by registry name.
+
+    GPU backends accept ``device=`` (a name or
+    :class:`~repro.gpusim.arch.DeviceSpec`); ``openmp`` accepts
+    ``threads=``; see each class for the full signature.
+    """
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        raise KeyError(f"unknown backend {name!r}; known: {sorted(BACKENDS)}") from None
+    return factory(**kwargs)
+
+
+def available_backends() -> list[str]:
+    return sorted(BACKENDS)

@@ -1,0 +1,86 @@
+"""Bethe free energy (extension; the paper's reference [18]).
+
+Yedidia, Freeman & Weiss — the paper's citation for BP's semantics —
+showed that loopy BP fixed points are stationary points of the **Bethe
+free energy**
+
+    F = Σ_edges Σ_{x_u,x_v} b_uv ln (b_uv / ψ_uv φ_u φ_v)
+        − Σ_nodes (d_v − 1) Σ_{x_v} b_v ln (b_v / φ_v)
+
+and that −F approximates ln Z (exactly on trees).  This module computes
+F from a converged run's beliefs and pairwise pseudo-marginals, giving
+the library a principled convergence diagnostic and a partition-function
+estimate — both verified against exact enumeration in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graph import BeliefGraph
+from repro.core.state import LoopyState, TINY
+
+__all__ = ["pairwise_pseudo_marginals", "bethe_free_energy", "bethe_log_partition"]
+
+
+def pairwise_pseudo_marginals(state: LoopyState) -> dict[int, np.ndarray]:
+    """Edge beliefs b_uv for each canonical directed edge.
+
+    At a BP fixed point, ``b_uv(x_u, x_v) ∝ ψ(x_u, x_v) ·
+    cavity_u(x_u) · cavity_v(x_v)`` where each cavity excludes the
+    message that crossed this very edge.
+    """
+    out: dict[int, np.ndarray] = {}
+    beliefs = np.asarray(state.beliefs, dtype=np.float64)
+    messages = np.maximum(np.asarray(state.messages, dtype=np.float64), float(TINY))
+    for e in range(state.m):
+        rev = int(state.rev[e])
+        if rev != -1 and e > rev:
+            continue
+        u, v = int(state.src[e]), int(state.dst[e])
+        psi = np.asarray(
+            state.potentials if state.shared_potential else state.potentials[e],
+            dtype=np.float64,
+        )
+        # cavity_u excludes m_{v->u} (the reverse message); cavity_v
+        # excludes m_{u->v} (this edge's message)
+        cav_u = beliefs[u] / (messages[rev] if rev != -1 else 1.0)
+        cav_v = beliefs[v] / messages[e]
+        joint = psi * np.maximum(cav_u, 0.0)[:, None] * np.maximum(cav_v, 0.0)[None, :]
+        total = joint.sum()
+        out[e] = joint / total if total > 0 else np.full_like(joint, 1.0 / joint.size)
+    return out
+
+
+def bethe_free_energy(graph: BeliefGraph, state: LoopyState | None = None) -> float:
+    """Bethe free energy of the current beliefs (lower is better fit)."""
+    state = state or LoopyState(graph)
+    node_beliefs = np.maximum(np.asarray(state.beliefs, dtype=np.float64), 1e-300)
+    log_priors = np.asarray(state.log_priors, dtype=np.float64)
+    degrees = np.zeros(state.n)
+    energy = 0.0
+
+    for e, b_uv in pairwise_pseudo_marginals(state).items():
+        u, v = int(state.src[e]), int(state.dst[e])
+        degrees[u] += 1
+        degrees[v] += 1
+        psi = np.asarray(
+            state.potentials if state.shared_potential else state.potentials[e],
+            dtype=np.float64,
+        )
+        log_factor = (
+            np.log(np.maximum(psi, 1e-300))
+            + log_priors[u][:, None]
+            + log_priors[v][None, :]
+        )
+        b_safe = np.maximum(b_uv, 1e-300)
+        energy += float((b_uv * (np.log(b_safe) - log_factor)).sum())
+
+    node_term = (node_beliefs * (np.log(node_beliefs) - log_priors)).sum(axis=1)
+    energy -= float(((degrees - 1.0) * node_term).sum())
+    return energy
+
+
+def bethe_log_partition(graph: BeliefGraph, state: LoopyState | None = None) -> float:
+    """The Bethe estimate of ln Z (exact on trees at a BP fixed point)."""
+    return -bethe_free_energy(graph, state)

@@ -1,0 +1,102 @@
+"""Per-edge processing paradigm (paper §3.3, Figure 3, right).
+
+"Each edge pulls the current state of the parent node and combines it with
+the joint probability matrix along the edge and the child node's state to
+produce the new state of the child node. ... a child node may have many
+parents and thus must combine each edge's contribution to its new state
+atomically to avoid race conditions."
+
+Operationally the sweep walks the active edges in chunks; each chunk
+recomputes its messages from the *current* beliefs (so later chunks observe
+the effect of earlier ones — the freshness that lets the paper's edge
+versions "converge in only a few iterations", §4.2), scatter-adds the
+log-message deltas into the destination accumulators (the atomic combine)
+and refreshes the beliefs of the touched destinations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.state import LoopyState
+from repro.core.sweepstats import SweepStats
+
+__all__ = ["edge_sweep"]
+
+_FSIZE = 4
+_ISIZE = 8
+
+
+def edge_sweep(
+    state: LoopyState,
+    active_edges: np.ndarray,
+    *,
+    update_rule: str = "sum_product",
+    semiring: str = "sum",
+    damping: float = 0.0,
+    chunks: int = 8,
+) -> tuple[np.ndarray, np.ndarray, SweepStats]:
+    """One sweep over ``active_edges``.
+
+    Returns ``(edge_deltas, touched_nodes, stats)``: the L1 message change
+    per active edge (queue filter), the destination nodes whose beliefs
+    were recomputed, and the operation counts.
+    """
+    stats = SweepStats()
+    n_active = len(active_edges)
+    if n_active == 0:
+        return (
+            np.empty(0, dtype=np.float32),
+            np.empty(0, dtype=np.int64),
+            stats,
+        )
+
+    b = state.b
+    chunks = max(1, min(chunks, n_active))
+    bounds = np.linspace(0, n_active, chunks + 1, dtype=np.int64)
+    edge_deltas = np.empty(n_active, dtype=np.float32)
+    touched_mask = np.zeros(state.n, dtype=bool)
+
+    for k in range(chunks):
+        lo, hi = int(bounds[k]), int(bounds[k + 1])
+        if lo == hi:
+            continue
+        chunk = active_edges[lo:hi]
+        if update_rule == "broadcast":
+            msgs = state.propagate_messages(chunk, semiring=semiring)
+        elif update_rule == "sum_product":
+            msgs = state.cavity_messages(chunk, semiring=semiring)
+        else:
+            raise ValueError(f"unknown update_rule {update_rule!r}")
+        if damping > 0.0:
+            msgs = (1.0 - damping) * msgs + damping * state.messages[chunk]
+        edge_deltas[lo:hi] = state.store_messages(chunk, msgs)
+
+        chunk_mask = np.zeros(state.n, dtype=bool)
+        chunk_mask[state.dst[chunk]] = True
+        chunk_mask &= state.free_mask
+        dirty = np.flatnonzero(chunk_mask)
+        if len(dirty):
+            state.beliefs[dirty] = state.combine_nodes(dirty)
+            touched_mask |= chunk_mask
+        stats.kernel_launches += 2  # message kernel + combine kernel
+
+    touched_nodes = np.flatnonzero(touched_mask)
+
+    # --- accounting (§3.3: atomics instead of gathers) --------------------
+    n_touched = len(touched_nodes)
+    stats.edges_processed = n_active
+    stats.nodes_processed = n_touched
+    stats.flops = n_active * (2 * b * b + 2 * b) + n_touched * (4 * b)
+    # per edge: streaming reads of the stored message / adjacency entries
+    # and the new-message write; one data-dependent gather of the source
+    # belief vector
+    stats.sequential_bytes = n_active * (2 * b * _FSIZE + 2 * _ISIZE)
+    stats.random_bytes = n_active * (b * _FSIZE)
+    stats.random_accesses = n_active
+    # the defining cost (§3.3): the atomic combine into the destination
+    # accumulator — one line-coalesced atomic transaction per edge under
+    # the warp-per-edge mapping (the belief entries share a cache line)
+    stats.atomic_ops = n_active
+    stats.reduction_elems = n_touched
+    return edge_deltas, touched_nodes, stats

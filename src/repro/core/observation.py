@@ -1,0 +1,47 @@
+"""Evidence handling (paper §2.1).
+
+"During observation, one now knows for certain if an event occurs and
+consequently statically sets the probability of that event occurring which
+in turn sets off a chain of updates" — an observed node's belief is clamped
+to a one-hot vector and never updated by BP; it still emits messages so the
+evidence propagates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graph import BeliefGraph
+
+__all__ = ["observe", "clear_observations"]
+
+
+def observe(graph: BeliefGraph, node: int | str, state: int) -> None:
+    """Clamp ``node`` to ``state`` (statically fixate it, §2.1).
+
+    ``node`` may be an id or a node name.  Raises ``ValueError`` for an
+    out-of-range state and ``KeyError`` for an unknown name.
+    """
+    if isinstance(node, str):
+        try:
+            node = graph.node_names.index(node)
+        except ValueError:
+            raise KeyError(f"unknown node name {node!r}") from None
+    if not 0 <= node < graph.n_nodes:
+        raise IndexError(f"node {node} out of range")
+    dim = int(graph.dims[node])
+    if not 0 <= state < dim:
+        raise ValueError(f"state {state} out of range for node with {dim} states")
+    graph.observed[node] = True
+    graph.observed_state[node] = state
+    vec = np.zeros(dim, dtype=np.float32)
+    vec[state] = 1.0
+    graph.beliefs.set(node, vec)
+
+
+def clear_observations(graph: BeliefGraph) -> None:
+    """Remove all evidence and restore the affected nodes' priors."""
+    for i in np.flatnonzero(graph.observed):
+        graph.beliefs.set(int(i), graph.priors.get(int(i)))
+    graph.observed[:] = False
+    graph.observed_state[:] = -1

@@ -1,0 +1,33 @@
+"""Credo: the end-to-end system (paper §3.1, §3.7).
+
+"Based on a given input graph and its metadata, Credo chooses the best
+from these implementations before executing BP with that method."
+
+* :mod:`repro.credo.features` — the five-feature metadata vector;
+* :mod:`repro.credo.rules` — the size heuristic (< 1 k nodes → C Edge,
+  ≥ 100 k → CUDA Node) that covers 80 % of the benchmarks;
+* :mod:`repro.credo.selector` — rule + random-forest dispatch;
+* :mod:`repro.credo.training` — builds the labelled dataset by
+  benchmarking the suite on a device;
+* :mod:`repro.credo.runner` — the :class:`~repro.credo.runner.Credo`
+  facade (parse → featurize → select → run).
+"""
+
+from repro.credo.features import FEATURE_NAMES, extract_features, feature_matrix
+from repro.credo.rules import rule_select, SMALL_GRAPH_NODES, LARGE_GRAPH_NODES
+from repro.credo.selector import CredoSelector
+from repro.credo.training import build_training_set, TrainingRow
+from repro.credo.runner import Credo
+
+__all__ = [
+    "FEATURE_NAMES",
+    "extract_features",
+    "feature_matrix",
+    "rule_select",
+    "SMALL_GRAPH_NODES",
+    "LARGE_GRAPH_NODES",
+    "CredoSelector",
+    "build_training_set",
+    "TrainingRow",
+    "Credo",
+]

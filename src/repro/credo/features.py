@@ -1,0 +1,65 @@
+"""Metadata feature extraction (paper §3.7, Figure 4).
+
+"Our feature vector consists of the *number of nodes*, the *nodes to
+edges ratio*, the *number of beliefs*, the *degree imbalance* (the ratio
+of the max in-degree to the max out-degree) and the *skew* (the ratio of
+average in-degree to max in-degree)."
+
+Degrees are computed over the graph's **canonical directed edges** (each
+undirected MRF edge counted once, in its input orientation) — that is the
+form the metadata is available in "during input parsing", before the
+bidirectional expansion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graph import BeliefGraph
+
+__all__ = ["FEATURE_NAMES", "extract_features", "feature_matrix"]
+
+FEATURE_NAMES = (
+    "n_nodes",
+    "nodes_to_edges",
+    "n_beliefs",
+    "degree_imbalance",
+    "skew",
+)
+
+
+def _canonical_degrees(graph: BeliefGraph) -> tuple[np.ndarray, np.ndarray]:
+    """In/out degrees over one orientation per undirected edge."""
+    canonical = (graph.reverse_edge == -1) | (
+        np.arange(graph.n_edges) < graph.reverse_edge
+    )
+    src = graph.src[canonical]
+    dst = graph.dst[canonical]
+    out_deg = np.bincount(src, minlength=graph.n_nodes)
+    in_deg = np.bincount(dst, minlength=graph.n_nodes)
+    return in_deg, out_deg
+
+
+def extract_features(graph: BeliefGraph) -> np.ndarray:
+    """The five-feature vector of §3.7 for one graph."""
+    in_deg, out_deg = _canonical_degrees(graph)
+    n = graph.n_nodes
+    m = int(in_deg.sum())  # canonical (undirected) edge count
+    max_in = float(in_deg.max(initial=0))
+    max_out = float(out_deg.max(initial=0))
+    avg_in = float(in_deg.mean()) if n else 0.0
+    return np.array(
+        [
+            float(n),
+            n / m if m else 0.0,
+            float(graph.n_states),
+            max_in / max_out if max_out > 0 else 0.0,
+            avg_in / max_in if max_in > 0 else 0.0,
+        ],
+        dtype=np.float64,
+    )
+
+
+def feature_matrix(graphs) -> np.ndarray:
+    """Stack :func:`extract_features` over an iterable of graphs."""
+    return np.array([extract_features(g) for g in graphs])

@@ -1,0 +1,106 @@
+"""Persisting trained selectors.
+
+A production deployment trains the selector once per device (minutes of
+benchmarking, §4.3) and ships the fitted model; these helpers serialize
+a :class:`~repro.credo.selector.CredoSelector`'s random forest to a
+plain-JSON document — no pickle, so the artifact is portable, diffable
+and safe to load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.credo.selector import CredoSelector
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.tree import DecisionTreeClassifier, TreeNode
+
+__all__ = ["save_selector", "load_selector"]
+
+_FORMAT_VERSION = 1
+
+
+def _node_to_dict(node: TreeNode) -> dict:
+    out = {
+        "feature": node.feature,
+        "threshold": node.threshold,
+        "counts": node.counts.tolist(),
+    }
+    if not node.is_leaf:
+        assert node.left is not None and node.right is not None
+        out["left"] = _node_to_dict(node.left)
+        out["right"] = _node_to_dict(node.right)
+    return out
+
+
+def _node_from_dict(data: dict) -> TreeNode:
+    node = TreeNode(
+        feature=int(data["feature"]),
+        threshold=float(data["threshold"]),
+        left=None,
+        right=None,
+        counts=np.asarray(data["counts"], dtype=np.float64),
+    )
+    if "left" in data:
+        node.left = _node_from_dict(data["left"])
+        node.right = _node_from_dict(data["right"])
+    return node
+
+
+def _tree_to_dict(tree: DecisionTreeClassifier) -> dict:
+    return {
+        "classes": tree.classes_.tolist(),
+        "n_features": tree.n_features_,
+        "importances": tree.feature_importances_.tolist(),
+        "root": _node_to_dict(tree.root_),
+    }
+
+
+def _tree_from_dict(data: dict) -> DecisionTreeClassifier:
+    tree = DecisionTreeClassifier()
+    tree.classes_ = np.asarray(data["classes"])
+    tree.n_features_ = int(data["n_features"])
+    tree.feature_importances_ = np.asarray(data["importances"], dtype=np.float64)
+    tree.root_ = _node_from_dict(data["root"])
+    return tree
+
+
+def save_selector(selector: CredoSelector, path: str | Path) -> None:
+    """Serialize a fitted selector (random-forest classifiers only)."""
+    forest = selector.classifier
+    if not isinstance(forest, RandomForestClassifier):
+        raise TypeError("only RandomForestClassifier-backed selectors serialize")
+    if not selector._fitted:
+        raise ValueError("selector is not fitted")
+    doc = {
+        "format_version": _FORMAT_VERSION,
+        "classes": forest.classes_.tolist(),
+        "n_estimators": forest.n_estimators,
+        "feature_importances": forest.feature_importances_.tolist(),
+        "trees": [_tree_to_dict(t) for t in forest.estimators_],
+        "tree_class_maps": [m.tolist() for m in forest._tree_class_maps],
+    }
+    Path(path).write_text(json.dumps(doc), encoding="utf-8")
+
+
+def load_selector(path: str | Path) -> CredoSelector:
+    """Reconstruct a fitted selector saved by :func:`save_selector`."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = doc.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported selector format version {version!r}")
+    forest = RandomForestClassifier(n_estimators=int(doc["n_estimators"]))
+    forest.classes_ = np.asarray(doc["classes"])
+    forest.estimators_ = [_tree_from_dict(t) for t in doc["trees"]]
+    forest._tree_class_maps = [
+        np.asarray(m, dtype=int) for m in doc["tree_class_maps"]
+    ]
+    forest.feature_importances_ = np.asarray(
+        doc["feature_importances"], dtype=np.float64
+    )
+    selector = CredoSelector(classifier=forest)
+    selector._fitted = True
+    return selector

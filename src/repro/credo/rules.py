@@ -1,0 +1,34 @@
+"""The size heuristic (paper §3.7).
+
+"We could quickly discern a rule to use the CUDA implementations for when
+the graph has 100,000 nodes or more and the C versions for 1,000 nodes or
+fewer.  Yet, this rule does not account for the middle ground."
+
+The rule resolves the platform (C vs CUDA) at the extremes; the paradigm
+(Node vs Edge) and the whole middle ground go to the classifier.
+"""
+
+from __future__ import annotations
+
+from repro.core.graph import BeliefGraph
+
+__all__ = ["SMALL_GRAPH_NODES", "LARGE_GRAPH_NODES", "rule_select"]
+
+#: at or below this many nodes, the C implementations always win (§3.7)
+SMALL_GRAPH_NODES = 1_000
+#: at or above this many nodes, the CUDA implementations always win (§3.7)
+LARGE_GRAPH_NODES = 100_000
+
+
+def rule_select(graph: BeliefGraph) -> str | None:
+    """Apply the extremes rule.
+
+    Returns ``"c-edge"`` for small graphs, ``"cuda-node"`` for large ones
+    and ``None`` for the middle ground (defer to the classifier).
+    """
+    n = graph.n_nodes
+    if n <= SMALL_GRAPH_NODES:
+        return "c-edge"
+    if n >= LARGE_GRAPH_NODES:
+        return "cuda-node"
+    return None

@@ -1,0 +1,146 @@
+"""The Credo facade (paper §3.1).
+
+``Credo`` wires the whole pipeline together: load the graph (any
+supported format), extract metadata features, select the implementation
+(rule + classifier) and execute BP with it.  "With all of the
+optimizations discussed herein enabled, these implementations enable us
+to run more efficiently and outperform previous efforts."
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.backends.base import Backend, RunResult
+from repro.backends.c_backends import CEdgeBackend, CNodeBackend
+from repro.backends.cuda_backends import CudaEdgeBackend, CudaNodeBackend
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.graph import BeliefGraph
+from repro.credo.selector import CredoSelector
+from repro.credo.training import build_training_set
+from repro.gpusim.arch import DeviceSpec, get_device
+from repro.io.detect import load_graph
+
+__all__ = ["Credo"]
+
+
+class Credo:
+    """Automatic-best-implementation belief propagation.
+
+    >>> credo = Credo(device="gtx1070")
+    >>> credo.train(profile="smoke")          # benchmark + fit selector
+    >>> result = credo.run(graph)             # doctest: +SKIP
+    >>> result.backend                        # doctest: +SKIP
+    'cuda-node'
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec | str = "gtx1070",
+        *,
+        selector: CredoSelector | None = None,
+        criterion: ConvergenceCriterion | None = None,
+        work_queue: bool = True,
+    ):
+        self.device = get_device(device)
+        self.selector = selector or CredoSelector()
+        self.criterion = criterion or ConvergenceCriterion()
+        self.work_queue = work_queue
+        self._backends: dict[str, Backend] = {
+            "c-node": CNodeBackend(),
+            "c-edge": CEdgeBackend(),
+            "cuda-node": CudaNodeBackend(self.device),
+            "cuda-edge": CudaEdgeBackend(self.device),
+        }
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        *,
+        profile: str | None = None,
+        subset: tuple[str, ...] | None = None,
+        use_cases: tuple[str, ...] = ("binary", "virus", "image"),
+        seed: int = 0,
+        verbose: bool = False,
+    ) -> "Credo":
+        """Benchmark the suite on this device and fit the selector."""
+        rows = build_training_set(
+            self.device,
+            use_cases=use_cases,
+            subset=subset,
+            profile=profile,
+            seed=seed,
+            verbose=verbose,
+        )
+        self.selector.fit(rows)
+        return self
+
+    def train_paper_scale(
+        self,
+        *,
+        subset: tuple[str, ...] | None = None,
+        use_cases: tuple[str, ...] = ("binary", "virus", "image"),
+        seed: int = 0,
+        verbose: bool = False,
+    ) -> "Credo":
+        """Fit the selector on the Table 1-scale analytic dataset.
+
+        Cheaper per variant than :meth:`train` (one small probe run each)
+        and labelled at the paper's real graph sizes — the configuration
+        the §4.3 experiments use.
+        """
+        from repro.credo.training import build_training_set_paper_scale
+
+        rows = build_training_set_paper_scale(
+            self.device,
+            use_cases=use_cases,
+            subset=subset,
+            seed=seed,
+            verbose=verbose,
+        )
+        self.selector.fit(rows)
+        return self
+
+    # ------------------------------------------------------------------
+    def select(self, graph: BeliefGraph) -> str:
+        """The backend Credo would choose for ``graph``."""
+        return self.selector.select(graph)
+
+    def run(self, graph: BeliefGraph, *, backend: str | None = None) -> RunResult:
+        """Select (or honour ``backend=``) and execute BP on ``graph``."""
+        name = backend or self.select(graph)
+        try:
+            engine = self._backends[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown backend {name!r}; Credo dispatches {sorted(self._backends)}"
+            ) from None
+        result = engine.run(
+            graph, criterion=self.criterion, work_queue=self.work_queue
+        )
+        result.detail["selected"] = name
+        return result
+
+    def select_file(self, node_path: str | Path, edge_path: str | Path) -> str:
+        """Pick the backend for an MTX dual-file graph from its metadata
+        alone — one streaming pass, the graph is never materialized
+        (the §3.7 "a priori ... based solely on its metadata" promise)."""
+        from repro.io.scan import scan_mtx_stats
+
+        stats = scan_mtx_stats(node_path, edge_path)
+        return self.selector.select_from_features(
+            stats.features() if self.selector._fitted else None,
+            n_nodes=stats.n_nodes,
+            n_beliefs=stats.n_beliefs,
+        )
+
+    def run_file(
+        self,
+        path: str | Path,
+        edge_path: str | Path | None = None,
+        *,
+        backend: str | None = None,
+    ) -> RunResult:
+        """Load a graph file (BIF / XML-BIF / MTX dual-file) and run it."""
+        graph = load_graph(path, edge_path)
+        return self.run(graph, backend=backend)

@@ -1,0 +1,46 @@
+"""GPU graph-framework substrate (paper §5.2).
+
+The paper's related work surveys Gunrock, nvGRAPH and Groute: frameworks
+that "enable application developers to process massive graphs using
+common algorithms such as single-source shortest path (SSSP) and
+PageRank", built around the CSR format "and its assumption of one
+floating point number or integer per node" — which is exactly why "these
+frameworks cannot perform complex graph processing on the level of BP".
+
+This subpackage reproduces that argument executably:
+
+* :mod:`repro.frameworks.frontier` — a Gunrock-style
+  advance / filter / compute operator framework over frontiers;
+* :mod:`repro.frameworks.semiring` — an nvGRAPH-style generalized
+  sparse matrix-vector engine over pluggable semirings;
+* :mod:`repro.frameworks.algorithms` — SSSP, BFS, PageRank and
+  connected components written against both, validated against networkx;
+* :func:`repro.frameworks.limits.why_not_bp` — the structural checks
+  showing where loopy BP breaks each framework's data model (E15).
+"""
+
+from repro.frameworks.frontier import FrontierFramework, FrontierProgram
+from repro.frameworks.semiring import Semiring, SemiringSpmv, PLUS_TIMES, MIN_PLUS, OR_AND
+from repro.frameworks.algorithms import (
+    bfs_depths,
+    connected_components,
+    pagerank,
+    sssp,
+)
+from repro.frameworks.limits import FrameworkLimitation, why_not_bp
+
+__all__ = [
+    "FrontierFramework",
+    "FrontierProgram",
+    "Semiring",
+    "SemiringSpmv",
+    "PLUS_TIMES",
+    "MIN_PLUS",
+    "OR_AND",
+    "bfs_depths",
+    "connected_components",
+    "pagerank",
+    "sssp",
+    "FrameworkLimitation",
+    "why_not_bp",
+]

@@ -1,0 +1,68 @@
+"""The CSR graph the §5.2 frameworks assume.
+
+"All of these optimizations are useless to complex graph algorithms like
+BP which do not adhere directly to the CSR format and its assumption of
+one floating point number or integer per node."  This module is that
+assumption, reified: a compressed sparse row structure whose node state
+is a single scalar array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graph import BeliefGraph
+
+__all__ = ["CsrGraph"]
+
+
+class CsrGraph:
+    """Directed CSR adjacency with one optional scalar weight per edge."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        weights: np.ndarray | None = None,
+    ):
+        self.n_nodes = int(n_nodes)
+        src = np.asarray(src, dtype=np.int64).reshape(-1)
+        dst = np.asarray(dst, dtype=np.int64).reshape(-1)
+        if len(src) != len(dst):
+            raise ValueError("src and dst must have equal length")
+        if len(src) and (src.min() < 0 or dst.min() < 0 or max(src.max(), dst.max()) >= n_nodes):
+            raise ValueError("edge endpoint out of range")
+        order = np.argsort(src, kind="stable")
+        self.col = dst[order]
+        counts = np.bincount(src, minlength=n_nodes)
+        self.offsets = np.zeros(n_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.offsets[1:])
+        if weights is None:
+            self.weights = np.ones(len(src), dtype=np.float64)
+        else:
+            weights = np.asarray(weights, dtype=np.float64).reshape(-1)
+            if len(weights) != len(src):
+                raise ValueError("weights length mismatch")
+            self.weights = weights[order]
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.col)
+
+    def neighbours(self, v: int) -> np.ndarray:
+        return self.col[self.offsets[v] : self.offsets[v + 1]]
+
+    def out_degree(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    @classmethod
+    def from_belief_graph(cls, graph: BeliefGraph, weights: np.ndarray | None = None) -> "CsrGraph":
+        """Project a belief graph's topology into CSR (losing the belief
+        vectors and potential matrices — the §5.2 point)."""
+        return cls(graph.n_nodes, graph.src, graph.dst, weights)
+
+    @classmethod
+    def from_edges(cls, n_nodes: int, edges: np.ndarray, weights=None) -> "CsrGraph":
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        return cls(n_nodes, edges[:, 0], edges[:, 1], weights)

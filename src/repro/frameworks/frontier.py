@@ -1,0 +1,130 @@
+"""Gunrock-style frontier framework (paper §5.2).
+
+"Gunrock abstracts all graph operations as a series of advance, filter
+and computation steps operating either on nodes or edges utilizing
+optimizations such as kernel fusion, push-pull traversal, idempotent
+traversal and priority queues."
+
+A :class:`FrontierProgram` supplies the three operators; the framework
+iterates advance → compute → filter over frontiers until the frontier
+empties or an iteration cap is hit.  Node state is a single scalar array
+(`values`), per the CSR data model — the restriction that locks BP out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.sweepstats import SweepStats
+from repro.frameworks.csr import CsrGraph
+
+__all__ = ["FrontierProgram", "FrontierFramework", "FrontierResult"]
+
+
+@dataclass
+class FrontierProgram:
+    """The three Gunrock operators.
+
+    ``advance(src_values, edge_weights, dst_values) -> candidate_values``
+        per-edge: propose a new scalar for each edge's destination from
+        its source's scalar (vectorized over the expanded frontier);
+    ``combine``
+        how colliding candidates at one destination merge
+        ("min", "sum", "max" — the atomic op of the real kernels);
+    ``compute(values, touched) -> values``
+        optional per-node post-processing of the touched nodes;
+    ``filter(old_values, new_values, touched) -> mask``
+        which touched nodes enter the next frontier.
+    """
+
+    advance: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+    combine: str = "min"
+    compute: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None
+    filter: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray] | None = None
+
+    def __post_init__(self) -> None:
+        if self.combine not in ("min", "max", "sum"):
+            raise ValueError(f"unknown combine {self.combine!r}")
+
+
+@dataclass
+class FrontierResult:
+    values: np.ndarray
+    iterations: int
+    stats: SweepStats = field(default_factory=SweepStats)
+
+
+class FrontierFramework:
+    """Push-style advance/filter/compute executor over a CSR graph."""
+
+    def __init__(self, graph: CsrGraph):
+        self.graph = graph
+
+    def run(
+        self,
+        program: FrontierProgram,
+        initial_values: np.ndarray,
+        initial_frontier: np.ndarray,
+        *,
+        max_iterations: int = 10_000,
+    ) -> FrontierResult:
+        g = self.graph
+        values = np.asarray(initial_values, dtype=np.float64).copy()
+        if values.shape != (g.n_nodes,):
+            raise ValueError(
+                "frontier frameworks hold one scalar per node; got "
+                f"state of shape {values.shape} for {g.n_nodes} nodes "
+                "(the §5.2 restriction)"
+            )
+        frontier = np.unique(np.asarray(initial_frontier, dtype=np.int64))
+        stats = SweepStats()
+        iteration = 0
+        while len(frontier) and iteration < max_iterations:
+            iteration += 1
+            # ADVANCE: expand the frontier's out-edges
+            starts = g.offsets[frontier]
+            ends = g.offsets[frontier + 1]
+            sizes = ends - starts
+            total = int(sizes.sum())
+            if total == 0:
+                break
+            seg = np.repeat(np.arange(len(frontier)), sizes)
+            local = np.arange(total) - np.repeat(
+                np.concatenate([[0], np.cumsum(sizes)[:-1]]), sizes
+            )
+            eidx = starts[seg] + local
+            dsts = g.col[eidx]
+            candidates = program.advance(
+                values[frontier[seg]], g.weights[eidx], values[dsts]
+            )
+
+            # COMBINE: resolve collisions per destination (the atomic op)
+            new_values = values.copy()
+            if program.combine == "min":
+                np.minimum.at(new_values, dsts, candidates)
+            elif program.combine == "max":
+                np.maximum.at(new_values, dsts, candidates)
+            else:
+                np.add.at(new_values, dsts, candidates)
+            touched = np.unique(dsts)
+
+            # COMPUTE: optional per-node transform
+            if program.compute is not None:
+                new_values = program.compute(new_values, touched)
+
+            # FILTER: build the next frontier
+            if program.filter is not None:
+                mask = program.filter(values, new_values, touched)
+            else:
+                mask = new_values[touched] != values[touched]
+            frontier = touched[mask]
+            values = new_values
+
+            stats.edges_processed += total
+            stats.nodes_processed += len(touched)
+            stats.atomic_ops += total
+            stats.kernel_launches += 3  # advance + compute + filter
+        return FrontierResult(values=values, iterations=iteration, stats=stats)

@@ -1,0 +1,93 @@
+"""nvGRAPH-style semiring SpMV engine (paper §5.2).
+
+"nvGRAPH borrows the concept of semi-rings from linear algebra to
+genericize common graph operations" — one iteration of many graph
+algorithms is a generalized sparse matrix-vector product
+``y[i] = ⊕_j A[i,j] ⊗ x[j]`` over a (⊕, ⊗) semiring.  The vector holds
+**one scalar per node**, which is the §5.2 restriction this module makes
+concrete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.frameworks.csr import CsrGraph
+
+__all__ = ["Semiring", "SemiringSpmv", "PLUS_TIMES", "MIN_PLUS", "OR_AND"]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A (⊕, ⊗) pair with the ⊕-identity."""
+
+    name: str
+    plus: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    times: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    zero: float
+
+    def reduce_at(self, out: np.ndarray, idx: np.ndarray, vals: np.ndarray) -> None:
+        if self.plus is np.minimum:
+            np.minimum.at(out, idx, vals)
+        elif self.plus is np.maximum:
+            np.maximum.at(out, idx, vals)
+        elif self.plus is np.add:
+            np.add.at(out, idx, vals)
+        else:  # generic (slow) fallback
+            for i, v in zip(idx, vals):
+                out[i] = self.plus(out[i], v)
+
+
+#: ordinary linear algebra — PageRank's iteration lives here
+PLUS_TIMES = Semiring("plus-times", np.add, np.multiply, 0.0)
+#: tropical semiring — SSSP relaxation
+MIN_PLUS = Semiring("min-plus", np.minimum, np.add, np.inf)
+#: boolean semiring — reachability / BFS
+OR_AND = Semiring("or-and", np.maximum, np.minimum, 0.0)
+
+
+class SemiringSpmv:
+    """Generalized y = A ⊗ x over the transpose graph (pull direction)."""
+
+    def __init__(self, graph: CsrGraph):
+        self.graph = graph
+
+    def multiply(self, x: np.ndarray, semiring: Semiring) -> np.ndarray:
+        """One generalized SpMV: for each edge (u → v),
+        ``y[v] ⊕= w(u,v) ⊗ x[u]``."""
+        g = self.graph
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (g.n_nodes,):
+            raise ValueError(
+                f"semiring engines operate on one scalar per node; got {x.shape} "
+                "(the §5.2 restriction)"
+            )
+        y = np.full(g.n_nodes, semiring.zero, dtype=np.float64)
+        # expand all edges (src is implied by CSR rows)
+        src = np.repeat(np.arange(g.n_nodes), np.diff(g.offsets))
+        vals = semiring.times(g.weights, x[src])
+        semiring.reduce_at(y, g.col, vals)
+        return y
+
+    def iterate(
+        self,
+        x0: np.ndarray,
+        semiring: Semiring,
+        *,
+        post: Callable[[np.ndarray], np.ndarray] | None = None,
+        tol: float = 1e-10,
+        max_iterations: int = 1000,
+    ) -> tuple[np.ndarray, int]:
+        """Fixed-point iteration of the generalized SpMV."""
+        x = np.asarray(x0, dtype=np.float64).copy()
+        for it in range(1, max_iterations + 1):
+            y = self.multiply(x, semiring)
+            if post is not None:
+                y = post(y)
+            if np.allclose(y, x, atol=tol, rtol=0.0):
+                return y, it
+            x = y
+        return x, max_iterations

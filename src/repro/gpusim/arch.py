@@ -1,0 +1,175 @@
+"""GPU device specifications (paper §2.3, §4, §4.4).
+
+Two devices matter to the paper: the evaluation machine's **GTX 1070**
+(Pascal: 15 SMX, 1920 CUDA cores, 8 GB VRAM) and the portability
+experiment's **V100** (Volta: 5120 CUDA cores, 16 GB).  §4.4 names the
+architectural differences that flip the Edge/Node balance: Volta's
+independent thread scheduling lowers atomic/synchronization overhead and
+its memory bandwidth is "considerably 1.5x higher".  An Ampere spec is
+included as an extension for forward-portability studies.
+
+The cost-model constants (latencies, atomic costs, launch overhead) are
+order-of-magnitude figures from vendor documentation and microbenchmark
+literature; the reproduction depends on their *ratios*, not their absolute
+values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "GTX1070", "V100", "A100", "DEVICES", "get_device"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one GPU model."""
+
+    name: str
+    architecture: str
+    sm_count: int
+    cores_per_sm: int
+    clock_ghz: float
+    vram_bytes: int
+    #: sustained global-memory bandwidth, bytes/second
+    mem_bandwidth: float
+    #: global-memory transaction granularity (coalescing sector), bytes
+    sector_bytes: int
+    #: global-memory load latency, cycles
+    global_latency_cycles: int
+    #: shared memory per thread block, bytes
+    shared_mem_per_block: int
+    #: constant-memory cache, bytes (holds the shared joint matrix, §3.6)
+    constant_mem_bytes: int
+    max_threads_per_block: int
+    #: cycles one uncontended global atomic costs the issuing warp
+    atomic_base_cycles: float
+    #: extra cycles per *additional* colliding atomic on the same address
+    atomic_serialize_cycles: float
+    #: host-side cost of one kernel launch, seconds
+    kernel_launch_seconds: float
+    #: device allocation/bookkeeping per cudaMalloc-style call, seconds
+    alloc_overhead_seconds: float
+    #: one-time CUDA context creation + module load, seconds — the bulk of
+    #: the "GPU memory management overhead" that eats 99.8 % of the
+    #: smallest benchmark's runtime (§4.1.1)
+    context_init_seconds: float
+    #: PCIe bandwidth, bytes/second, and per-transfer latency, seconds
+    pcie_bandwidth: float
+    pcie_latency_seconds: float
+    #: Volta+ independent thread scheduling (§4.4)
+    independent_thread_scheduling: bool
+    warp_size: int = 32
+
+    @property
+    def total_cores(self) -> int:
+        """CUDA cores across all SMs."""
+        return self.sm_count * self.cores_per_sm
+
+    @property
+    def peak_flops(self) -> float:
+        """Single-precision FMA peak, flops/second."""
+        return self.total_cores * self.clock_ghz * 1e9 * 2.0
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert device cycles to seconds at the base clock."""
+        return cycles / (self.clock_ghz * 1e9)
+
+
+#: The paper's evaluation GPU: "an nVidia GTX 1070 with 15 SMX processors,
+#: a total of 1920 CUDA cores and 8GB of VRAM" (§4).
+GTX1070 = DeviceSpec(
+    name="GTX 1070",
+    architecture="pascal",
+    sm_count=15,
+    cores_per_sm=128,
+    clock_ghz=1.68,
+    vram_bytes=8 * 1024**3,
+    mem_bandwidth=256e9,
+    sector_bytes=32,
+    global_latency_cycles=400,
+    shared_mem_per_block=96 * 1024,
+    constant_mem_bytes=64 * 1024,
+    max_threads_per_block=1024,
+    atomic_base_cycles=40.0,
+    atomic_serialize_cycles=28.0,
+    kernel_launch_seconds=6e-6,
+    alloc_overhead_seconds=120e-6,
+    context_init_seconds=0.18,
+    pcie_bandwidth=12e9,
+    pcie_latency_seconds=12e-6,
+    independent_thread_scheduling=False,
+)
+
+#: The portability experiment's GPU: "an nVIDIA Volta V100 SXM2 16GB GPU
+#: with 5120 CUDA cores" (§4.4).  Per §4.4 we model 1.5× the Pascal
+#: effective bandwidth and markedly cheaper atomics under Volta's
+#: independent thread scheduling.
+V100 = DeviceSpec(
+    name="V100 SXM2",
+    architecture="volta",
+    sm_count=80,
+    cores_per_sm=64,
+    clock_ghz=1.53,
+    vram_bytes=16 * 1024**3,
+    mem_bandwidth=384e9,  # 1.5x Pascal, the ratio §4.4 cites
+    sector_bytes=32,
+    global_latency_cycles=350,
+    shared_mem_per_block=96 * 1024,
+    constant_mem_bytes=64 * 1024,
+    max_threads_per_block=1024,
+    atomic_base_cycles=24.0,
+    atomic_serialize_cycles=10.0,
+    kernel_launch_seconds=5e-6,
+    alloc_overhead_seconds=100e-6,
+    context_init_seconds=0.16,
+    pcie_bandwidth=12e9,
+    pcie_latency_seconds=10e-6,
+    independent_thread_scheduling=True,
+)
+
+#: Extension: an Ampere A100 for forward-portability ablations (not in the
+#: paper).
+A100 = DeviceSpec(
+    name="A100 SXM4",
+    architecture="ampere",
+    sm_count=108,
+    cores_per_sm=64,
+    clock_ghz=1.41,
+    vram_bytes=40 * 1024**3,
+    mem_bandwidth=600e9,
+    sector_bytes=32,
+    global_latency_cycles=320,
+    shared_mem_per_block=164 * 1024,
+    constant_mem_bytes=64 * 1024,
+    max_threads_per_block=1024,
+    atomic_base_cycles=18.0,
+    atomic_serialize_cycles=6.0,
+    kernel_launch_seconds=4e-6,
+    alloc_overhead_seconds=90e-6,
+    context_init_seconds=0.15,
+    pcie_bandwidth=24e9,
+    pcie_latency_seconds=8e-6,
+    independent_thread_scheduling=True,
+)
+
+DEVICES: dict[str, DeviceSpec] = {
+    "gtx1070": GTX1070,
+    "pascal": GTX1070,
+    "v100": V100,
+    "volta": V100,
+    "a100": A100,
+    "ampere": A100,
+}
+
+
+def get_device(name: str | DeviceSpec) -> DeviceSpec:
+    """Look a device up by name or architecture alias."""
+    if isinstance(name, DeviceSpec):
+        return name
+    try:
+        return DEVICES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; known: {sorted(set(DEVICES))}"
+        ) from None

@@ -1,0 +1,26 @@
+"""Host↔device transfer model (paper §3.6, §4.1.1).
+
+"There are significant data transfer costs with the CUDA approaches that
+limit them to smaller graphs" — each transfer pays PCIe latency plus
+bandwidth time.  The CUDA backends follow the paper's mitigation: load the
+graph once, keep everything resident, and fetch only the convergence
+scalar back "after a predetermined number of batched iterations".
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.arch import DeviceSpec
+
+__all__ = ["transfer_time", "DEFAULT_CONVERGENCE_BATCH"]
+
+#: iterations between device→host convergence-check transfers (§2.4, §3.6)
+DEFAULT_CONVERGENCE_BATCH = 4
+
+
+def transfer_time(device: DeviceSpec, nbytes: int, *, calls: int = 1) -> float:
+    """Seconds to move ``nbytes`` across PCIe in ``calls`` transfers."""
+    if nbytes < 0:
+        raise ValueError("transfer size must be non-negative")
+    if calls < 1:
+        raise ValueError("calls must be at least 1")
+    return calls * device.pcie_latency_seconds + nbytes / device.pcie_bandwidth

@@ -1,0 +1,45 @@
+"""Workload generators for the paper's benchmark suite (Table 1).
+
+The paper evaluates on synthetic N×M random graphs plus real graphs from
+the network repository (Kronecker kron-g500 instances, social networks,
+web graphs).  The real downloads are unavailable offline, so each gets a
+generator producing a graph of the same size and degree shape:
+
+* :func:`synthetic_graph` — the paper's own ``N_nodes_M_edges`` family;
+* :func:`kronecker_graph` — R-MAT/Kronecker, matching kron-g500-logn*;
+* :func:`social_graph` — heavy-tailed preferential attachment for the
+  social/web stand-ins;
+* :func:`grid_graph` — 2-D lattice MRFs for the image-correction use case;
+* :mod:`repro.graphs.suite` — the Table 1 catalogue with paper-scale and
+  scaled-down profiles.
+"""
+
+from repro.graphs.synthetic import synthetic_graph, random_edges
+from repro.graphs.kronecker import kronecker_graph, rmat_edges
+from repro.graphs.social import social_graph, preferential_attachment_edges
+from repro.graphs.grids import grid_graph, grid_edges
+from repro.graphs.suite import (
+    BenchmarkGraph,
+    SUITE,
+    FIGURE_SUBSET,
+    suite_graphs,
+    build_graph,
+    get_benchmark,
+)
+
+__all__ = [
+    "synthetic_graph",
+    "random_edges",
+    "kronecker_graph",
+    "rmat_edges",
+    "social_graph",
+    "preferential_attachment_edges",
+    "grid_graph",
+    "grid_edges",
+    "BenchmarkGraph",
+    "SUITE",
+    "FIGURE_SUBSET",
+    "suite_graphs",
+    "build_graph",
+    "get_benchmark",
+]

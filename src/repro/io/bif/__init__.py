@@ -1,0 +1,25 @@
+"""The Bayesian Interchange Format (BIF) parser (paper §3.2).
+
+BIF is the legacy standard the paper replaces: a context-free grammar that
+"necessitates constructing a custom parser" and must be fully loaded before
+a graph can be assembled.  We implement the real thing — a hand-written
+lexer (:mod:`repro.io.bif.lexer`) and recursive-descent parser
+(:mod:`repro.io.bif.parser_`) covering the grammar used by the Bayesian
+Network Repository: ``network``/``variable``/``probability`` blocks,
+``table`` and per-parent-configuration entries, ``default`` rows and
+``property`` strings — so the parser-comparison experiment (E4) measures a
+faithful baseline.
+"""
+
+from repro.io.bif.lexer import tokenize, Token, BifSyntaxError
+from repro.io.bif.parser_ import parse_bif, parse_bif_file
+from repro.io.bif.writer import write_bif
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "BifSyntaxError",
+    "parse_bif",
+    "parse_bif_file",
+    "write_bif",
+]

@@ -1,0 +1,148 @@
+"""Tokenizer for the Bayesian Interchange Format.
+
+BIF is a C-flavoured language: identifiers, decimal literals, punctuation
+(``{ } ( ) [ ] | , ;``), ``//`` line comments and ``/* */`` block comments.
+The lexer works on the fully loaded source string — deliberately so: the
+paper's §3.2 point is that "both parsers must load the entire input file
+into memory first", and the E4 benchmark measures that cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Token", "tokenize", "BifSyntaxError", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {"network", "variable", "probability", "property", "type", "discrete", "table", "default"}
+)
+
+_PUNCT = frozenset("{}()[]|,;=")
+
+
+class BifSyntaxError(ValueError):
+    """Lexing/parsing failure with source position."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme.
+
+    ``kind`` ∈ {"keyword", "ident", "number", "punct", "string", "eof"}.
+    """
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident(ch: str) -> bool:
+    # BIF identifiers in the wild include dashes and dots (state names).
+    return ch.isalnum() or ch in "_-."
+
+
+def tokenize(source: str) -> Iterator[Token]:
+    """Yield tokens for ``source``, ending with an ``eof`` token.
+
+    Raises :class:`BifSyntaxError` on unknown characters or unterminated
+    comments.
+    """
+    i = 0
+    n = len(source)
+    line = 1
+    line_start = 0
+
+    def pos() -> tuple[int, int]:
+        return line, i - line_start + 1
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "*":
+            lno, col = pos()
+            i += 2
+            while i + 1 < n and not (source[i] == "*" and source[i + 1] == "/"):
+                if source[i] == "\n":
+                    line += 1
+                    line_start = i + 1
+                i += 1
+            if i + 1 >= n:
+                raise BifSyntaxError("unterminated block comment", lno, col)
+            i += 2
+            continue
+        if ch == '"':
+            lno, col = pos()
+            j = i + 1
+            while j < n and source[j] != '"':
+                if source[j] == "\n":
+                    raise BifSyntaxError("unterminated string literal", lno, col)
+                j += 1
+            if j >= n:
+                raise BifSyntaxError("unterminated string literal", lno, col)
+            yield Token("string", source[i + 1 : j], lno, col)
+            i = j + 1
+            continue
+        if ch in _PUNCT:
+            lno, col = pos()
+            yield Token("punct", ch, lno, col)
+            i += 1
+            continue
+        if ch.isdigit() or (ch in "+-." and i + 1 < n and (source[i + 1].isdigit() or source[i + 1] == ".")):
+            lno, col = pos()
+            j = i
+            if source[j] in "+-":
+                j += 1
+            while j < n and (source[j].isdigit() or source[j] == "."):
+                j += 1
+            if j < n and source[j] in "eE":
+                j += 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            text = source[i:j]
+            try:
+                float(text)
+            except ValueError:
+                raise BifSyntaxError(f"malformed number {text!r}", lno, col) from None
+            yield Token("number", text, lno, col)
+            i = j
+            continue
+        if _is_ident_start(ch):
+            lno, col = pos()
+            j = i
+            while j < n and _is_ident(source[j]):
+                j += 1
+            word = source[i:j]
+            yield Token("keyword" if word in KEYWORDS else "ident", word, lno, col)
+            i = j
+            continue
+        lno, col = pos()
+        raise BifSyntaxError(f"unexpected character {ch!r}", lno, col)
+
+    yield Token("eof", "", line, i - line_start + 1)

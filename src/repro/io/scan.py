@@ -1,0 +1,109 @@
+"""Streaming metadata extraction from MTX dual files (paper §3.7).
+
+Credo chooses its implementation "based solely on [the graph's] metadata"
+"obtained during input parsing".  For the MTX dual-file format that
+metadata is computable in one streaming pass over the edge file — node
+count, edge count, belief width, in/out-degree extremes — without ever
+materializing the graph, which is what lets the selector answer *before*
+deciding how much memory the chosen backend should commit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.io.mtx import MtxFormatError, _read_header
+
+__all__ = ["MtxStats", "scan_mtx_stats"]
+
+
+@dataclass(frozen=True)
+class MtxStats:
+    """Metadata recovered from one streaming pass."""
+
+    n_nodes: int
+    n_edges: int  # undirected, as listed in the edge file
+    n_beliefs: int
+    max_in_degree: int
+    max_out_degree: int
+    avg_in_degree: float
+
+    def features(self) -> np.ndarray:
+        """The §3.7 five-feature vector (canonical orientation)."""
+        return np.array(
+            [
+                float(self.n_nodes),
+                self.n_nodes / self.n_edges if self.n_edges else 0.0,
+                float(self.n_beliefs),
+                self.max_in_degree / self.max_out_degree
+                if self.max_out_degree
+                else 0.0,
+                self.avg_in_degree / self.max_in_degree
+                if self.max_in_degree
+                else 0.0,
+            ]
+        )
+
+
+def scan_mtx_stats(node_path: str | Path, edge_path: str | Path) -> MtxStats:
+    """Stream both files once and return the selector's metadata.
+
+    Memory use is two ``n``-length degree counters; the probability and
+    matrix payloads are never parsed beyond counting the belief width.
+    """
+    node_path, edge_path = Path(node_path), Path(edge_path)
+
+    with open(node_path, "r", encoding="utf-8") as handle:
+        _, (rows, cols, _entries), _ = _read_header(handle, str(node_path))
+        if rows != cols:
+            raise MtxFormatError(f"{node_path}: node file must be square")
+        n = rows
+        n_beliefs = 0
+        for raw in handle:
+            stripped = raw.strip()
+            if not stripped or stripped.startswith("%"):
+                continue
+            n_beliefs = len(stripped.split()) - 2
+            break
+        if n_beliefs <= 0:
+            raise MtxFormatError(f"{node_path}: node file holds no entries")
+
+    in_deg = np.zeros(n, dtype=np.int64)
+    out_deg = np.zeros(n, dtype=np.int64)
+    m = 0
+    with open(edge_path, "r", encoding="utf-8") as handle:
+        _, (rows, cols, declared), _ = _read_header(handle, str(edge_path))
+        if rows != n or cols != n:
+            raise MtxFormatError(
+                f"{edge_path}: dimensions disagree with the node file"
+            )
+        for raw in handle:
+            stripped = raw.strip()
+            if not stripped or stripped.startswith("%"):
+                continue
+            parts = stripped.split(None, 2)
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except (ValueError, IndexError):
+                raise MtxFormatError(f"{edge_path}: malformed edge entry") from None
+            if not (1 <= u <= n and 1 <= v <= n):
+                raise MtxFormatError(f"{edge_path}: edge endpoint out of range")
+            out_deg[u - 1] += 1
+            in_deg[v - 1] += 1
+            m += 1
+        if m != declared:
+            raise MtxFormatError(
+                f"{edge_path}: header declared {declared} entries but file holds {m}"
+            )
+
+    return MtxStats(
+        n_nodes=n,
+        n_edges=m,
+        n_beliefs=n_beliefs,
+        max_in_degree=int(in_deg.max(initial=0)),
+        max_out_degree=int(out_deg.max(initial=0)),
+        avg_in_degree=float(in_deg.mean()) if n else 0.0,
+    )

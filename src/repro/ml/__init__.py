@@ -1,0 +1,45 @@
+"""From-scratch classifier library (paper §3.7, §4.3).
+
+The paper selects the best BP implementation with scikit-learn
+classifiers; this subpackage reimplements the ones its evaluation
+compares — decision tree (CART), random forest, k-nearest neighbours,
+Gaussian naive Bayes, a linear SVM, a multi-layer perceptron and gradient
+boosting — together with the metrics (F1), model-selection utilities
+(train/test split, k-fold cross-validation) and preprocessing (scaler,
+PCA) the experiments use.
+
+The implementations favour clarity and determinism (every stochastic
+component takes a seed) over speed; the datasets involved are tiny
+(~95 rows × 5 features).
+"""
+
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.naive_bayes import GaussianNBClassifier
+from repro.ml.svm import LinearSVMClassifier
+from repro.ml.mlp import MLPClassifier
+from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.gp import GaussianProcessClassifier
+from repro.ml.metrics import accuracy_score, f1_score, confusion_matrix
+from repro.ml.model_selection import train_test_split, KFold, cross_val_score
+from repro.ml.preprocessing import StandardScaler, PCA
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "KNeighborsClassifier",
+    "GaussianNBClassifier",
+    "LinearSVMClassifier",
+    "MLPClassifier",
+    "GradientBoostingClassifier",
+    "GaussianProcessClassifier",
+    "accuracy_score",
+    "f1_score",
+    "confusion_matrix",
+    "train_test_split",
+    "KFold",
+    "cross_val_score",
+    "StandardScaler",
+    "PCA",
+]

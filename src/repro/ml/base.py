@@ -1,0 +1,79 @@
+"""Shared estimator plumbing for :mod:`repro.ml`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ClassifierMixin", "check_xy", "NotFittedError"]
+
+
+class NotFittedError(RuntimeError):
+    """Predict called before fit."""
+
+
+def check_xy(X, y=None) -> tuple[np.ndarray, np.ndarray | None]:
+    """Coerce inputs to 2-D float / 1-D label arrays and sanity-check."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise ValueError("X must be 2-D (n_samples, n_features)")
+    if not np.isfinite(X).all():
+        raise ValueError("X contains NaN or infinite entries")
+    if y is None:
+        return X, None
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValueError("y must be 1-D")
+    if len(y) != len(X):
+        raise ValueError(f"X has {len(X)} rows but y has {len(y)}")
+    if len(y) == 0:
+        raise ValueError("empty training set")
+    return X, y
+
+
+class ClassifierMixin:
+    """fit/predict/score surface shared by every classifier here.
+
+    The contract (identical across all implementations):
+
+    * ``fit(X, y)`` trains on ``(n_samples, n_features)`` floats and 1-D
+      labels of any hashable type, stores the sorted unique labels on
+      ``classes_`` and returns ``self``;
+    * ``predict(X)`` returns labels drawn from ``classes_``;
+    * ``predict_proba(X)`` returns ``(n_samples, n_classes)`` rows
+      summing to 1, columns aligned with ``classes_``;
+    * calling predict before fit raises :class:`NotFittedError`.
+    """
+
+    classes_: np.ndarray
+
+    def fit(self, X, y) -> "ClassifierMixin":
+        """Train on (X, y) and return self (see class contract)."""
+        raise NotImplementedError
+
+    def predict(self, X) -> np.ndarray:
+        """Predicted label per row of ``X`` (see class contract)."""
+        raise NotImplementedError
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Class-probability estimates aligned with ``classes_``."""
+        raise NotImplementedError
+
+    def score(self, X, y) -> float:
+        """Mean accuracy on (X, y)."""
+        from repro.ml.metrics import accuracy_score
+
+        return accuracy_score(np.asarray(y), self.predict(X))
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "classes_"):
+            raise NotFittedError(f"{type(self).__name__} is not fitted yet")
+
+    def _encode(self, y: np.ndarray) -> np.ndarray:
+        """Store classes_ and return integer-encoded labels."""
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        return encoded
+
+    def _decode(self, idx: np.ndarray) -> np.ndarray:
+        return self.classes_[idx]

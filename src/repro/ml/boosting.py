@@ -1,0 +1,138 @@
+"""Gradient boosting (compared in paper §4.3).
+
+Binomial/multinomial gradient boosting over shallow CART regression-style
+trees (class-probability leaves re-fit on residual sign agreement keeps
+this compact: we boost the log-odds with depth-limited classification
+trees fit to the pseudo-residual sign, the classic LogitBoost-lite
+construction).  The paper finds it decent but data-hungry (§4.3) — the
+same verdict Figure 10 encodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import ClassifierMixin, check_xy
+
+__all__ = ["GradientBoostingClassifier"]
+
+
+class _RegressionStump:
+    """Depth-limited regression tree fit by variance reduction."""
+
+    def __init__(self, max_depth: int, min_samples_leaf: int):
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+
+    def fit(self, X: np.ndarray, r: np.ndarray) -> "_RegressionStump":
+        self.root = self._build(X, r, 0)
+        return self
+
+    def _build(self, X: np.ndarray, r: np.ndarray, depth: int) -> dict:
+        node = {"value": float(r.mean()) if len(r) else 0.0, "feature": -1}
+        if depth >= self.max_depth or len(r) < 2 * self.min_samples_leaf:
+            return node
+        best_score = float(((r - r.mean()) ** 2).sum())
+        best = None
+        for feature in range(X.shape[1]):
+            order = np.argsort(X[:, feature], kind="stable")
+            xs, rs = X[order, feature], r[order]
+            csum = np.cumsum(rs)
+            csq = np.cumsum(rs**2)
+            total_sum, total_sq = csum[-1], csq[-1]
+            n = len(rs)
+            for i in range(self.min_samples_leaf - 1, n - self.min_samples_leaf):
+                if xs[i] == xs[i + 1]:
+                    continue
+                nl = i + 1
+                nr = n - nl
+                sl, ql = csum[i], csq[i]
+                sr, qr = total_sum - sl, total_sq - ql
+                score = (ql - sl**2 / nl) + (qr - sr**2 / nr)
+                if score < best_score - 1e-12:
+                    best_score = score
+                    best = (feature, 0.5 * (xs[i] + xs[i + 1]))
+        if best is None:
+            return node
+        feature, threshold = best
+        mask = X[:, feature] <= threshold
+        node.update(
+            feature=feature,
+            threshold=threshold,
+            left=self._build(X[mask], r[mask], depth + 1),
+            right=self._build(X[~mask], r[~mask], depth + 1),
+        )
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        out = np.empty(len(X))
+        for i, row in enumerate(X):
+            node = self.root
+            while node["feature"] != -1:
+                node = node["left"] if row[node["feature"]] <= node["threshold"] else node["right"]
+            out[i] = node["value"]
+        return out
+
+
+class GradientBoostingClassifier(ClassifierMixin):
+    """Multinomial gradient boosting on shallow regression trees."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        learning_rate: float = 0.1,
+        max_depth: int = 2,
+        min_samples_leaf: int = 1,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if not 0 < learning_rate <= 1:
+            raise ValueError("learning_rate must be in (0, 1]")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+
+    def fit(self, X, y) -> "GradientBoostingClassifier":
+        X, y = check_xy(X, y)
+        encoded = self._encode(y)
+        n = len(X)
+        c = len(self.classes_)
+        onehot = np.zeros((n, c))
+        onehot[np.arange(n), encoded] = 1.0
+
+        self._base_logit = np.log(np.maximum(onehot.mean(axis=0), 1e-12))
+        logits = np.tile(self._base_logit, (n, 1))
+        self._stages: list[list[_RegressionStump]] = []
+        for _ in range(self.n_estimators):
+            shifted = logits - logits.max(axis=1, keepdims=True)
+            p = np.exp(shifted)
+            p /= p.sum(axis=1, keepdims=True)
+            residual = onehot - p  # negative gradient of multinomial CE
+            stage: list[_RegressionStump] = []
+            for k in range(c):
+                stump = _RegressionStump(self.max_depth, self.min_samples_leaf).fit(
+                    X, residual[:, k]
+                )
+                logits[:, k] += self.learning_rate * stump.predict(X)
+                stage.append(stump)
+            self._stages.append(stage)
+        return self
+
+    def _raw(self, X: np.ndarray) -> np.ndarray:
+        logits = np.tile(self._base_logit, (len(X), 1))
+        for stage in self._stages:
+            for k, stump in enumerate(stage):
+                logits[:, k] += self.learning_rate * stump.predict(X)
+        return logits
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X, _ = check_xy(X)
+        logits = self._raw(X)
+        logits -= logits.max(axis=1, keepdims=True)
+        p = np.exp(logits)
+        return p / p.sum(axis=1, keepdims=True)
+
+    def predict(self, X) -> np.ndarray:
+        return self._decode(self.predict_proba(X).argmax(axis=1))

@@ -1,0 +1,81 @@
+"""Random forest (paper §3.7, §4.3, Figure 5).
+
+Bootstrap-aggregated CART trees with per-split feature subsampling.  The
+paper's tuned configuration — max-depth 6, **14 estimators** — reaches a
+94.7 % F1-score on the implementation-selection task; feature importances
+(Figure 5) are the impurity-decrease importances averaged over trees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import ClassifierMixin, check_xy
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = ["RandomForestClassifier"]
+
+
+class RandomForestClassifier(ClassifierMixin):
+    """Bagged CART ensemble with majority soft-voting."""
+
+    def __init__(
+        self,
+        n_estimators: int = 14,
+        max_depth: int | None = 6,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = "sqrt",
+        bootstrap: bool = True,
+        random_state: int | None = None,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        X, y = check_xy(X, y)
+        encoded = self._encode(y)
+        rng = np.random.default_rng(self.random_state)
+        n = len(X)
+        self.estimators_: list[DecisionTreeClassifier] = []
+        self._tree_class_maps: list[np.ndarray] = []
+        importances = np.zeros(X.shape[1])
+        for _ in range(self.n_estimators):
+            idx = rng.integers(0, n, size=n) if self.bootstrap else np.arange(n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[idx], encoded[idx])
+            self.estimators_.append(tree)
+            # a bootstrap draw may miss classes: map tree classes → global
+            self._tree_class_maps.append(tree.classes_.astype(int))
+            imp = np.zeros(X.shape[1])
+            imp[: len(tree.feature_importances_)] = tree.feature_importances_
+            importances += imp
+        self.feature_importances_ = importances / self.n_estimators
+        total = self.feature_importances_.sum()
+        if total > 0:
+            self.feature_importances_ = self.feature_importances_ / total
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X, _ = check_xy(X)
+        agg = np.zeros((len(X), len(self.classes_)))
+        for tree, cmap in zip(self.estimators_, self._tree_class_maps):
+            agg[:, cmap] += tree.predict_proba(X)
+        return agg / self.n_estimators
+
+    def predict(self, X) -> np.ndarray:
+        return self._decode(self.predict_proba(X).argmax(axis=1))

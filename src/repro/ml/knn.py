@@ -1,0 +1,53 @@
+"""k-nearest-neighbours classifier (compared in paper §4.3).
+
+The paper notes kNN "only excels when the features can yield entirely
+separable clusters", which the interrelated Credo features do not —
+hence its middling Figure 10 scores.  Euclidean distance, optional
+inverse-distance weighting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import ClassifierMixin, check_xy
+
+__all__ = ["KNeighborsClassifier"]
+
+
+class KNeighborsClassifier(ClassifierMixin):
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform"):
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        if weights not in ("uniform", "distance"):
+            raise ValueError("weights must be 'uniform' or 'distance'")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+
+    def fit(self, X, y) -> "KNeighborsClassifier":
+        X, y = check_xy(X, y)
+        self._X = X
+        self._y = self._encode(y)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X, _ = check_xy(X)
+        k = min(self.n_neighbors, len(self._X))
+        # (q, n) pairwise squared distances
+        d2 = ((X[:, None, :] - self._X[None, :, :]) ** 2).sum(axis=2)
+        nearest = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        out = np.zeros((len(X), len(self.classes_)))
+        for i in range(len(X)):
+            labels = self._y[nearest[i]]
+            if self.weights == "uniform":
+                w = np.ones(k)
+            else:
+                w = 1.0 / np.maximum(np.sqrt(d2[i, nearest[i]]), 1e-12)
+            for label, weight in zip(labels, w):
+                out[i, label] += weight
+            out[i] /= out[i].sum()
+        return out
+
+    def predict(self, X) -> np.ndarray:
+        return self._decode(self.predict_proba(X).argmax(axis=1))

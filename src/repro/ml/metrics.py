@@ -1,0 +1,80 @@
+"""Classification metrics (paper §3.7, §4.3).
+
+The paper scores everything by **F1** ("94.7 % F1-score" for the tuned
+random forest, "89.5 %" for the depth-2 tree, "72.2 %" on Volta).  With a
+binary Node/Edge label we report the standard binary F1 against the
+positive class by default and macro-averaged F1 for multiclass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy_score", "precision_recall_f1", "f1_score", "confusion_matrix"]
+
+
+def _validate(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("empty label arrays")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exact label matches."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float((y_true == y_pred).mean())
+
+
+def confusion_matrix(y_true, y_pred, labels=None) -> np.ndarray:
+    """``C[i, j]`` = count of samples with true label i predicted as j."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    labels = np.asarray(labels)
+    index = {label: i for i, label in enumerate(labels.tolist())}
+    matrix = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        matrix[index[t], index[p]] += 1
+    return matrix
+
+
+def precision_recall_f1(y_true, y_pred, positive) -> tuple[float, float, float]:
+    """Binary precision/recall/F1 with ``positive`` as the target class."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    tp = float(((y_true == positive) & (y_pred == positive)).sum())
+    fp = float(((y_true != positive) & (y_pred == positive)).sum())
+    fn = float(((y_true == positive) & (y_pred != positive)).sum())
+    precision = tp / (tp + fp) if tp + fp > 0 else 0.0
+    recall = tp / (tp + fn) if tp + fn > 0 else 0.0
+    f1 = (
+        2.0 * precision * recall / (precision + recall)
+        if precision + recall > 0
+        else 0.0
+    )
+    return precision, recall, f1
+
+
+def f1_score(y_true, y_pred, *, average: str = "binary", positive=None) -> float:
+    """F1-score.
+
+    ``average="binary"`` scores the ``positive`` class (defaults to the
+    lexicographically larger of two labels); ``"macro"`` averages the
+    per-class F1s.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    labels = np.unique(np.concatenate([y_true, y_pred]))
+    if average == "binary":
+        if len(labels) > 2:
+            raise ValueError("binary F1 needs at most two classes; use average='macro'")
+        if positive is None:
+            positive = sorted(labels.tolist())[-1]
+        return precision_recall_f1(y_true, y_pred, positive)[2]
+    if average == "macro":
+        return float(
+            np.mean([precision_recall_f1(y_true, y_pred, c)[2] for c in labels])
+        )
+    raise ValueError(f"unknown average {average!r}")

@@ -1,0 +1,140 @@
+"""Train/test splitting and cross-validation (paper §4.3).
+
+The paper trains "with a train-test split of 60-40", shuffles and draws
+"well-balanced samples", and reports "the standard deviation of a
+three-fold cross validation as the error bars" (Figure 10).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+__all__ = ["train_test_split", "KFold", "cross_val_score", "balanced_subsample"]
+
+
+def train_test_split(
+    X,
+    y,
+    *,
+    test_size: float = 0.4,
+    random_state: int | None = None,
+    stratify: bool = True,
+):
+    """Shuffle-split into train/test (the paper's 60-40 default).
+
+    ``stratify`` keeps the label proportions in both halves — the paper's
+    "well-balanced samples".
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if len(X) != len(y):
+        raise ValueError("X and y must have the same length")
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    rng = np.random.default_rng(random_state)
+    n = len(X)
+    if stratify:
+        test_idx: list[int] = []
+        train_idx: list[int] = []
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            rng.shuffle(members)
+            cut = int(round(len(members) * test_size))
+            cut = min(max(cut, 1 if len(members) > 1 else 0), len(members) - 1) if len(members) > 1 else 0
+            test_idx.extend(members[:cut].tolist())
+            train_idx.extend(members[cut:].tolist())
+        train = np.array(sorted(train_idx))
+        test = np.array(sorted(test_idx))
+    else:
+        order = rng.permutation(n)
+        cut = int(round(n * test_size))
+        test, train = np.sort(order[:cut]), np.sort(order[cut:])
+    return X[train], X[test], y[train], y[test]
+
+
+class KFold:
+    """k-fold splitter with optional shuffling."""
+
+    def __init__(self, n_splits: int = 3, shuffle: bool = True, random_state: int | None = None):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(X)
+        if n < self.n_splits:
+            raise ValueError(f"cannot split {n} samples into {self.n_splits} folds")
+        indices = np.arange(n)
+        if self.shuffle:
+            np.random.default_rng(self.random_state).shuffle(indices)
+        sizes = np.full(self.n_splits, n // self.n_splits, dtype=np.int64)
+        sizes[: n % self.n_splits] += 1
+        start = 0
+        for size in sizes:
+            test = indices[start : start + size]
+            train = np.concatenate([indices[:start], indices[start + size :]])
+            yield np.sort(train), np.sort(test)
+            start += size
+
+
+def cross_val_score(
+    make_model: Callable[[], object],
+    X,
+    y,
+    *,
+    cv: int = 3,
+    scorer: Callable | None = None,
+    random_state: int | None = 0,
+) -> np.ndarray:
+    """Fit a fresh model per fold and score it (default: binary F1).
+
+    ``make_model`` is a zero-arg factory so every fold trains from
+    scratch; returns the per-fold scores (mean/std feed Figure 10's
+    error bars).
+    """
+    from repro.ml.metrics import f1_score
+
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if scorer is None:
+        labels = np.unique(y)
+        avg = "binary" if len(labels) <= 2 else "macro"
+
+        def scorer(y_true, y_pred):  # noqa: F811 - intentional default
+            return f1_score(y_true, y_pred, average=avg)
+
+    scores = []
+    for train, test in KFold(cv, shuffle=True, random_state=random_state).split(X):
+        model = make_model()
+        model.fit(X[train], y[train])
+        scores.append(scorer(y[test], model.predict(X[test])))
+    return np.asarray(scores)
+
+
+def balanced_subsample(
+    X, y, n_samples: int, *, random_state: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw a label-balanced subsample of ``n_samples`` rows (the Figure 10
+    dataset-size sweep draws these)."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if n_samples > len(X):
+        raise ValueError(f"requested {n_samples} of {len(X)} rows")
+    rng = np.random.default_rng(random_state)
+    labels = np.unique(y)
+    per_label = n_samples // len(labels)
+    chosen: list[int] = []
+    for label in labels:
+        members = np.flatnonzero(y == label)
+        rng.shuffle(members)
+        chosen.extend(members[: min(per_label, len(members))].tolist())
+    # top up from the remainder to hit n_samples exactly
+    remaining = np.setdiff1d(np.arange(len(X)), np.array(chosen, dtype=np.int64))
+    rng.shuffle(remaining)
+    chosen.extend(remaining[: n_samples - len(chosen)].tolist())
+    idx = np.array(sorted(chosen[:n_samples]))
+    return X[idx], y[idx]

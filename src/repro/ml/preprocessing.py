@@ -1,0 +1,80 @@
+"""Preprocessing: standardization and PCA (paper §3.7).
+
+The paper tried PCA on the Credo features and found it "results in worse
+F1-score metrics" because every feature carries independent signal — the
+E10 benchmark replays that ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import NotFittedError
+
+__all__ = ["StandardScaler", "PCA"]
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance feature scaling."""
+
+    def fit(self, X) -> "StandardScaler":
+        X = np.asarray(X, dtype=np.float64)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.scale_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if not hasattr(self, "mean_"):
+            raise NotFittedError("StandardScaler is not fitted yet")
+        return (np.asarray(X, dtype=np.float64) - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        if not hasattr(self, "mean_"):
+            raise NotFittedError("StandardScaler is not fitted yet")
+        return np.asarray(X, dtype=np.float64) * self.scale_ + self.mean_
+
+
+class PCA:
+    """Principal component analysis via SVD of the centred data.
+
+    Per the HPC guide: we ask for the thin SVD (``full_matrices=False``)
+    — only the leading factors are needed.
+    """
+
+    def __init__(self, n_components: int | None = None):
+        if n_components is not None and n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_components = n_components
+
+    def fit(self, X) -> "PCA":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        self.mean_ = X.mean(axis=0)
+        centred = X - self.mean_
+        _u, s, vt = np.linalg.svd(centred, full_matrices=False)
+        k = self.n_components or min(X.shape)
+        k = min(k, vt.shape[0])
+        self.components_ = vt[:k]
+        var = (s**2) / max(len(X) - 1, 1)
+        total = var.sum()
+        self.explained_variance_ = var[:k]
+        self.explained_variance_ratio_ = var[:k] / total if total > 0 else var[:k]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if not hasattr(self, "components_"):
+            raise NotFittedError("PCA is not fitted yet")
+        return (np.asarray(X, dtype=np.float64) - self.mean_) @ self.components_.T
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        if not hasattr(self, "components_"):
+            raise NotFittedError("PCA is not fitted yet")
+        return np.asarray(X, dtype=np.float64) @ self.components_ + self.mean_

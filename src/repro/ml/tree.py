@@ -1,0 +1,212 @@
+"""CART decision tree (paper §3.7, §4.3, Figure 6).
+
+A Gini-impurity binary decision tree supporting ``max_depth``,
+``min_samples_split``, ``min_samples_leaf`` and per-split feature
+subsampling (``max_features``, used by the random forest).  The paper's
+tuned tree has max-depth 2 and reaches an 89.5 % F1-score on the
+Node-vs-Edge labelling; :meth:`DecisionTreeClassifier.describe` renders
+the structure the way Figure 6 draws it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import ClassifierMixin, check_xy
+
+__all__ = ["DecisionTreeClassifier", "TreeNode"]
+
+
+@dataclass
+class TreeNode:
+    """One tree node; leaves have ``feature == -1``."""
+
+    feature: int
+    threshold: float
+    left: "TreeNode | None"
+    right: "TreeNode | None"
+    #: class-count distribution of the training samples that reached here
+    counts: np.ndarray
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node has no split."""
+        return self.feature == -1
+
+    @property
+    def prediction(self) -> int:
+        """Majority class index of the training samples seen here."""
+        return int(self.counts.argmax())
+
+    @property
+    def proba(self) -> np.ndarray:
+        """Class distribution of the training samples seen here."""
+        total = self.counts.sum()
+        return self.counts / total if total > 0 else np.full_like(self.counts, 1.0 / len(self.counts))
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - (p * p).sum())
+
+
+class DecisionTreeClassifier(ClassifierMixin):
+    """CART with Gini impurity.
+
+    Parameters mirror scikit-learn's where the paper depends on them;
+    ``max_features`` accepts ``None`` (all), ``"sqrt"`` or an int.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = None,
+        random_state: int | None = None,
+    ):
+        if max_depth is not None and max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------
+    def fit(self, X, y) -> "DecisionTreeClassifier":
+        X, y = check_xy(X, y)
+        encoded = self._encode(y)
+        self.n_features_ = X.shape[1]
+        self._rng = np.random.default_rng(self.random_state)
+        self._importance = np.zeros(self.n_features_)
+        self.root_ = self._build(X, encoded, depth=0)
+        total = self._importance.sum()
+        self.feature_importances_ = (
+            self._importance / total if total > 0 else self._importance
+        )
+        del self._rng
+        return self
+
+    def _feature_candidates(self) -> np.ndarray:
+        k = self.n_features_
+        if self.max_features is None:
+            return np.arange(k)
+        if self.max_features == "sqrt":
+            m = max(1, int(np.sqrt(k)))
+        elif isinstance(self.max_features, int):
+            m = max(1, min(self.max_features, k))
+        else:
+            raise ValueError(f"bad max_features {self.max_features!r}")
+        return self._rng.choice(k, size=m, replace=False)
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> TreeNode:
+        n_classes = len(self.classes_)
+        counts = np.bincount(y, minlength=n_classes).astype(np.float64)
+        node = TreeNode(feature=-1, threshold=0.0, left=None, right=None, counts=counts)
+        if (
+            len(y) < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or _gini(counts) == 0.0
+        ):
+            return node
+
+        best_gain = 0.0
+        best: tuple[int, float, np.ndarray] | None = None
+        parent_impurity = _gini(counts)
+        n = len(y)
+        for feature in self._feature_candidates():
+            order = np.argsort(X[:, feature], kind="stable")
+            xs = X[order, feature]
+            ys = y[order]
+            left_counts = np.zeros(n_classes)
+            right_counts = counts.copy()
+            # candidate thresholds between distinct consecutive values
+            for i in range(n - 1):
+                c = ys[i]
+                left_counts[c] += 1
+                right_counts[c] -= 1
+                if xs[i] == xs[i + 1]:
+                    continue
+                n_left = i + 1
+                n_right = n - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                gain = parent_impurity - (
+                    n_left * _gini(left_counts) + n_right * _gini(right_counts)
+                ) / n
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    threshold = 0.5 * (xs[i] + xs[i + 1])
+                    best = (int(feature), float(threshold), X[:, feature] <= threshold)
+
+        if best is None:
+            return node
+        feature, threshold, mask = best
+        self._importance[feature] += best_gain * n
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    # ------------------------------------------------------------------
+    def _leaf(self, row: np.ndarray) -> TreeNode:
+        node = self.root_
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+            assert node is not None
+        return node
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted()
+        X, _ = check_xy(X)
+        return self._decode(np.array([self._leaf(row).prediction for row in X]))
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X, _ = check_xy(X)
+        return np.array([self._leaf(row).proba for row in X])
+
+    def depth(self) -> int:
+        """Longest root-to-leaf path length."""
+        def walk(node: TreeNode) -> int:
+            if node.is_leaf:
+                return 0
+            assert node.left is not None and node.right is not None
+            return 1 + max(walk(node.left), walk(node.right))
+
+        self._check_fitted()
+        return walk(self.root_)
+
+    def describe(self, feature_names: list[str] | None = None) -> str:
+        """Render the tree structure (the Figure 6 visualization)."""
+        self._check_fitted()
+        lines: list[str] = []
+
+        def walk(node: TreeNode, indent: str) -> None:
+            if node.is_leaf:
+                label = self.classes_[node.prediction]
+                lines.append(f"{indent}-> {label} {node.counts.astype(int).tolist()}")
+                return
+            name = (
+                feature_names[node.feature]
+                if feature_names
+                else f"feature[{node.feature}]"
+            )
+            lines.append(f"{indent}{name} <= {node.threshold:.4g}?")
+            assert node.left is not None and node.right is not None
+            walk(node.left, indent + "  [yes] ")
+            walk(node.right, indent + "  [no]  ")
+
+        walk(self.root_, "")
+        return "\n".join(lines)

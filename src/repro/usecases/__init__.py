@@ -1,0 +1,31 @@
+"""The paper's three evaluation use cases (§4).
+
+"The first use case represents a simple binary true/false belief network.
+The second one models virus propagation with three states wherein people
+can be uninfected, infected or recovered.  The final one mimics image
+correction with the beliefs in each bit's value in a 32-bit image's
+pixels."
+
+Each module supplies the state semantics (priors and the shared joint
+probability matrix) to overlay on any benchmark topology, plus a
+domain-level API used by the examples.
+"""
+
+from repro.usecases.binary import binary_use_case, BINARY_STATES
+from repro.usecases.virus import virus_use_case, VirusModel, VIRUS_STATES
+from repro.usecases.image import image_use_case, noisy_image_graph, decode_image
+
+__all__ = [
+    "binary_use_case",
+    "BINARY_STATES",
+    "virus_use_case",
+    "VirusModel",
+    "VIRUS_STATES",
+    "image_use_case",
+    "noisy_image_graph",
+    "decode_image",
+    "USE_CASES",
+]
+
+#: use-case name → number of beliefs (§4's three configurations)
+USE_CASES = {"binary": 2, "virus": 3, "image": 32}

@@ -1,0 +1,72 @@
+"""Virus-propagation use case (paper §4, second configuration).
+
+Three states per person — uninfected / infected / recovered — with a
+shared pairwise potential encoding that "a virus affects all people
+identically" (§2.2): contact with an infected neighbour pulls a node
+toward infection, recovered neighbours are mildly protective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["VIRUS_STATES", "VirusModel", "virus_use_case"]
+
+VIRUS_STATES = ("uninfected", "infected", "recovered")
+
+
+@dataclass(frozen=True)
+class VirusModel:
+    """Epidemic coupling parameters.
+
+    ``transmission`` is the compatibility weight between an infected node
+    and an infected neighbour; ``recovery_shield`` down-weights infection
+    next to recovered individuals.
+    """
+
+    transmission: float = 0.35
+    recovery_shield: float = 0.15
+    homophily: float = 0.5
+
+    def potential(self) -> np.ndarray:
+        """The shared 3x3 compatibility matrix these parameters induce."""
+        t, r, h = self.transmission, self.recovery_shield, self.homophily
+        if not (0 < t < 1 and 0 < r < 1 and 0 < h < 1):
+            raise ValueError("virus parameters must lie in (0, 1)")
+        # rows: my state; cols: neighbour state; higher = more compatible
+        mat = np.array(
+            [
+                # uninfected, infected, recovered neighbour
+                [h, t, (1 - h - t) + r],  # I am uninfected
+                [t, h, 1 - h - t],        # I am infected
+                [(1 - h - t) + r, 1 - h - t, h],  # I am recovered
+            ],
+            dtype=np.float32,
+        )
+        mat = np.maximum(mat, 1e-3)
+        return mat / mat.sum(axis=1, keepdims=True)
+
+
+def virus_use_case(
+    rng: np.random.Generator,
+    n_nodes: int,
+    *,
+    model: VirusModel | None = None,
+    infected_fraction: float = 0.05,
+    recovered_fraction: float = 0.1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Priors and shared potential for the 3-state epidemic use case."""
+    if infected_fraction + recovered_fraction > 1.0:
+        raise ValueError("initial fractions exceed 1")
+    model = model or VirusModel()
+    priors = rng.dirichlet((6.0, 1.0, 1.0), size=n_nodes).astype(np.float32)
+    roll = rng.random(n_nodes)
+    infected = roll < infected_fraction
+    recovered = (roll >= infected_fraction) & (
+        roll < infected_fraction + recovered_fraction
+    )
+    priors[infected] = (0.05, 0.9, 0.05)
+    priors[recovered] = (0.05, 0.05, 0.9)
+    return priors, model.potential()

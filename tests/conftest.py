@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.graph import BeliefGraph
+from repro.core.potentials import attractive_potential, random_potential
+
+#: the family-out Bayesian network of paper Figure 1 (Charniak 1991),
+#: exercised by the parser and conversion tests
+FAMILY_OUT_BIF = """
+network family_out {
+  property author = charniak ;
+}
+variable family_out { type discrete [ 2 ] { true, false }; }
+variable bowel_problem { type discrete [ 2 ] { true, false }; }
+variable light_on { type discrete [ 2 ] { true, false }; }
+variable dog_out { type discrete [ 2 ] { true, false }; }
+variable hear_bark { type discrete [ 2 ] { true, false }; }
+probability ( family_out ) { table 0.15, 0.85; }
+probability ( bowel_problem ) { table 0.01, 0.99; }
+probability ( light_on | family_out ) {
+  (true) 0.6, 0.4;
+  (false) 0.05, 0.95;
+}
+probability ( dog_out | family_out, bowel_problem ) {
+  (true, true) 0.99, 0.01;
+  (true, false) 0.9, 0.1;
+  (false, true) 0.97, 0.03;
+  (false, false) 0.3, 0.7;
+}
+probability ( hear_bark | dog_out ) {
+  (true) 0.7, 0.3;
+  (false) 0.01, 0.99;
+}
+"""
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def family_out_bif():
+    return FAMILY_OUT_BIF
+
+
+def make_tree_graph(seed: int = 0, n_states: int = 2, n_nodes: int = 7) -> BeliefGraph:
+    """A random tree MRF (exact BP ground truth available)."""
+    rng = np.random.default_rng(seed)
+    edges = np.array([[rng.integers(0, v), v] for v in range(1, n_nodes)])
+    priors = rng.dirichlet(np.ones(n_states), size=n_nodes)
+    return BeliefGraph.from_undirected(
+        priors, edges, random_potential(n_states, rng)
+    )
+
+
+def make_loopy_graph(
+    seed: int = 0, n_nodes: int = 12, n_edges: int = 20, n_states: int = 2,
+    coupling: float = 0.7, layout: str = "aos",
+) -> BeliefGraph:
+    """A small random graph with cycles."""
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n_nodes, size=(n_edges, 2))
+    priors = rng.dirichlet(np.ones(n_states), size=n_nodes)
+    return BeliefGraph.from_undirected(
+        priors, edges, attractive_potential(n_states, coupling), layout=layout
+    )
+
+
+@pytest.fixture
+def tree_graph():
+    return make_tree_graph()
+
+
+@pytest.fixture
+def loopy_graph():
+    return make_loopy_graph()

@@ -1,0 +1,85 @@
+"""Bethe free energy (extension; the paper's reference [18])."""
+
+import numpy as np
+import pytest
+
+from repro.core import LoopyBP
+from repro.core.bethe import (
+    bethe_free_energy,
+    bethe_log_partition,
+    pairwise_pseudo_marginals,
+)
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.exact import exact_log_partition
+from repro.core.state import LoopyState
+from tests.conftest import make_loopy_graph, make_tree_graph
+
+_TIGHT = ConvergenceCriterion(threshold=1e-9, max_iterations=500)
+
+
+def _converged_state(graph):
+    state = LoopyState(graph)
+    LoopyBP(criterion=_TIGHT).run(graph, state=state)
+    return state
+
+
+class TestPairwiseMarginals:
+    def test_normalized_and_one_per_undirected_edge(self):
+        g = make_loopy_graph(seed=1)
+        state = _converged_state(g)
+        joints = pairwise_pseudo_marginals(state)
+        assert len(joints) == g.n_edges // 2
+        for b_uv in joints.values():
+            assert b_uv.sum() == pytest.approx(1.0, abs=1e-9)
+            assert (b_uv >= 0).all()
+
+    def test_marginalizing_edge_belief_recovers_node_belief_on_tree(self):
+        """Local consistency: Σ_{x_v} b_uv = b_u at a BP fixed point."""
+        g = make_tree_graph(seed=2, n_nodes=6)
+        state = _converged_state(g)
+        for e, b_uv in pairwise_pseudo_marginals(state).items():
+            u, v = int(state.src[e]), int(state.dst[e])
+            np.testing.assert_allclose(b_uv.sum(axis=1), state.beliefs[u], atol=5e-4)
+            np.testing.assert_allclose(b_uv.sum(axis=0), state.beliefs[v], atol=5e-4)
+
+
+class TestBetheLogZ:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_exact_on_trees(self, seed):
+        g = make_tree_graph(seed=seed, n_nodes=7)
+        state = _converged_state(g)
+        assert bethe_log_partition(g, state) == pytest.approx(
+            exact_log_partition(g), abs=1e-4
+        )
+
+    def test_close_on_weakly_coupled_loops(self):
+        g = make_loopy_graph(seed=3, n_nodes=10, n_edges=14, coupling=0.6)
+        state = _converged_state(g)
+        assert bethe_log_partition(g, state) == pytest.approx(
+            exact_log_partition(g), abs=0.05
+        )
+
+    def test_three_state_tree(self):
+        g = make_tree_graph(seed=5, n_states=3, n_nodes=6)
+        state = _converged_state(g)
+        assert bethe_log_partition(g, state) == pytest.approx(
+            exact_log_partition(g), abs=1e-3
+        )
+
+    def test_free_energy_is_negative_log_z(self):
+        g = make_tree_graph(seed=6)
+        state = _converged_state(g)
+        assert bethe_free_energy(g, state) == pytest.approx(
+            -bethe_log_partition(g, state)
+        )
+
+    def test_unconverged_beliefs_score_worse_on_trees(self):
+        """The free energy is minimized at the fixed point: the uniform
+        starting state must not beat the converged one."""
+        g = make_tree_graph(seed=7)
+        fresh = LoopyState(g.copy())
+        converged = _converged_state(g)
+        exact = exact_log_partition(g)
+        err_fresh = abs(-bethe_free_energy(g, fresh) - exact)
+        err_conv = abs(-bethe_free_energy(g, converged) - exact)
+        assert err_conv <= err_fresh + 1e-9

@@ -1,0 +1,165 @@
+"""The BIF lexer and parser (paper §3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.io.bif import BifSyntaxError, parse_bif, tokenize, write_bif
+from repro.io.network import network_to_belief_graph
+
+
+class TestLexer:
+    def test_token_stream(self):
+        tokens = list(tokenize("network foo { }"))
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["keyword", "ident", "punct", "punct", "eof"]
+
+    def test_numbers(self):
+        tokens = list(tokenize("0.15, -2e-3, 7"))
+        values = [t.value for t in tokens if t.kind == "number"]
+        assert values == ["0.15", "-2e-3", "7"]
+
+    def test_line_comments_skipped(self):
+        tokens = list(tokenize("// comment\nnetwork x {}"))
+        assert tokens[0].value == "network"
+
+    def test_block_comments_skipped(self):
+        tokens = list(tokenize("/* multi\nline */ variable"))
+        assert tokens[0].value == "variable"
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(BifSyntaxError, match="unterminated"):
+            list(tokenize("/* oops"))
+
+    def test_string_literal(self):
+        tokens = list(tokenize('property author = "jane doe" ;'))
+        assert any(t.kind == "string" and t.value == "jane doe" for t in tokens)
+
+    def test_unknown_character(self):
+        with pytest.raises(BifSyntaxError, match="unexpected character"):
+            list(tokenize("network @"))
+
+    def test_positions_tracked(self):
+        tokens = list(tokenize("network\nfoo"))
+        assert tokens[1].line == 2
+
+
+class TestParser:
+    def test_family_out(self, family_out_bif):
+        net = parse_bif(family_out_bif)
+        assert net.name == "family_out"
+        assert len(net.variables) == 5
+        np.testing.assert_allclose(net.cpts["family_out"].table, [0.15, 0.85])
+        assert net.cpts["dog_out"].parents == ["family_out", "bowel_problem"]
+        assert net.cpts["dog_out"].table.shape == (2, 2, 2)
+        np.testing.assert_allclose(net.cpts["dog_out"].table[0, 1], [0.9, 0.1])
+
+    def test_table_entry_form(self):
+        src = """
+        network n {}
+        variable a { type discrete [ 2 ] { t, f }; }
+        variable b { type discrete [ 2 ] { t, f }; }
+        probability ( a ) { table 0.5, 0.5; }
+        probability ( b | a ) { table 0.1, 0.9, 0.8, 0.2; }
+        """
+        net = parse_bif(src)
+        np.testing.assert_allclose(net.cpts["b"].table, [[0.1, 0.9], [0.8, 0.2]])
+
+    def test_default_rows(self):
+        src = """
+        network n {}
+        variable a { type discrete [ 2 ] { t, f }; }
+        variable b { type discrete [ 2 ] { t, f }; }
+        probability ( a ) { table 0.5, 0.5; }
+        probability ( b | a ) {
+          (t) 0.9, 0.1;
+          default 0.5, 0.5;
+        }
+        """
+        net = parse_bif(src)
+        np.testing.assert_allclose(net.cpts["b"].table, [[0.9, 0.1], [0.5, 0.5]])
+
+    def test_state_count_mismatch(self):
+        with pytest.raises(BifSyntaxError, match="declares 3 states"):
+            parse_bif("network n {} variable a { type discrete [ 3 ] { t, f }; }")
+
+    def test_undeclared_parent(self):
+        src = """
+        network n {}
+        variable a { type discrete [ 2 ] { t, f }; }
+        probability ( a | ghost ) { table 0.5, 0.5, 0.5, 0.5; }
+        """
+        with pytest.raises(BifSyntaxError, match="undeclared parent"):
+            parse_bif(src)
+
+    def test_missing_cpt_entries(self):
+        src = """
+        network n {}
+        variable a { type discrete [ 2 ] { t, f }; }
+        variable b { type discrete [ 2 ] { t, f }; }
+        probability ( a ) { table 0.5, 0.5; }
+        probability ( b | a ) { (t) 0.9, 0.1; }
+        """
+        with pytest.raises(BifSyntaxError, match="undefined"):
+            parse_bif(src)
+
+    def test_missing_probability_block(self):
+        src = """
+        network n {}
+        variable a { type discrete [ 2 ] { t, f }; }
+        """
+        with pytest.raises(ValueError, match="no probability block"):
+            parse_bif(src)
+
+    def test_cycle_detected(self):
+        src = """
+        network n {}
+        variable a { type discrete [ 2 ] { t, f }; }
+        variable b { type discrete [ 2 ] { t, f }; }
+        probability ( a | b ) { table 0.5, 0.5, 0.5, 0.5; }
+        probability ( b | a ) { table 0.5, 0.5, 0.5, 0.5; }
+        """
+        with pytest.raises(ValueError, match="cycle"):
+            parse_bif(src)
+
+    def test_syntax_error_position(self):
+        try:
+            parse_bif("network n {} variable { }")
+        except BifSyntaxError as exc:
+            assert exc.line == 1
+        else:
+            pytest.fail("expected BifSyntaxError")
+
+
+class TestWriter:
+    def test_roundtrip(self, family_out_bif):
+        net = parse_bif(family_out_bif)
+        net2 = parse_bif(write_bif(net))
+        assert list(net.variables) == list(net2.variables)
+        for name, cpt in net.cpts.items():
+            np.testing.assert_allclose(cpt.table, net2.cpts[name].table, atol=1e-5)
+
+    def test_file_output(self, family_out_bif, tmp_path):
+        net = parse_bif(family_out_bif)
+        path = tmp_path / "out.bif"
+        write_bif(net, path)
+        assert path.exists()
+        parse_bif(path.read_text())
+
+
+class TestConversion:
+    def test_family_out_to_graph(self, family_out_bif):
+        net = parse_bif(family_out_bif)
+        g = network_to_belief_graph(net)
+        assert g.n_nodes == 5
+        # 4 parent-child relations -> 8 directed edges
+        assert g.n_edges == 8
+        assert g.node_names[0] == "family_out"
+
+    def test_converted_graph_runs_bp(self, family_out_bif):
+        from repro.backends.reference import ReferenceBackend
+
+        net = parse_bif(family_out_bif)
+        g = network_to_belief_graph(net)
+        result = ReferenceBackend().run(g)
+        assert result.converged
+        np.testing.assert_allclose(result.beliefs.sum(axis=1), 1.0, atol=1e-4)

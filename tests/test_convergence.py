@@ -1,0 +1,67 @@
+"""Convergence criterion (paper Algorithm 1 line 12, §4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import (
+    DEFAULT_MAX_ITERATIONS,
+    DEFAULT_THRESHOLD,
+    ConvergenceCriterion,
+    belief_delta,
+    per_node_delta,
+)
+
+
+class TestDeltas:
+    def test_belief_delta_is_total_l1(self):
+        prev = np.array([[0.5, 0.5], [1.0, 0.0]])
+        curr = np.array([[0.4, 0.6], [1.0, 0.0]])
+        assert belief_delta(prev, curr) == pytest.approx(0.2)
+
+    def test_per_node_delta(self):
+        prev = np.array([[0.5, 0.5], [1.0, 0.0]])
+        curr = np.array([[0.4, 0.6], [0.9, 0.1]])
+        np.testing.assert_allclose(per_node_delta(prev, curr), [0.2, 0.2])
+
+    def test_zero_on_identical(self):
+        x = np.random.default_rng(0).random((5, 3))
+        assert belief_delta(x, x) == 0.0
+
+
+class TestCriterion:
+    def test_paper_defaults(self):
+        crit = ConvergenceCriterion()
+        assert crit.threshold == DEFAULT_THRESHOLD == 1e-3
+        assert crit.max_iterations == DEFAULT_MAX_ITERATIONS == 200
+
+    def test_is_converged_strictly_below(self):
+        crit = ConvergenceCriterion(threshold=0.01)
+        assert crit.is_converged(0.009)
+        assert not crit.is_converged(0.01)
+
+    def test_should_stop_on_cap(self):
+        crit = ConvergenceCriterion(threshold=1e-6, max_iterations=10)
+        assert crit.should_stop(1.0, 10)
+        assert not crit.should_stop(1.0, 9)
+
+    def test_slack_shrinks_effective_threshold(self):
+        """The OpenACC imprecision (§2.4) makes convergence harder."""
+        exact = ConvergenceCriterion(threshold=1e-3)
+        sloppy = ConvergenceCriterion(threshold=1e-3, slack=4.0)
+        assert sloppy.effective_threshold() < exact.effective_threshold()
+        delta = 0.5e-3
+        assert exact.is_converged(delta)
+        assert not sloppy.is_converged(delta)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"threshold": 0.0},
+            {"threshold": -1.0},
+            {"max_iterations": 0},
+            {"slack": -0.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ConvergenceCriterion(**kwargs)

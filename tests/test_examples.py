@@ -1,0 +1,59 @@
+"""The example scripts run end-to-end (integration smoke)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = _run("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "family_out" in proc.stdout
+        assert "max |BP - exact|" in proc.stdout
+        # the canonical posterior: seeing the light on with no barking
+        # leaves p(family out) in the tens of percent
+        assert "selected backend: c-edge" in proc.stdout
+
+    def test_rumor_spread_small(self):
+        proc = _run("rumor_spread.py", "500", "2000")
+        assert proc.returncode == 0, proc.stderr
+        assert "selected backend" in proc.stdout
+        assert "believe the rumor" in proc.stdout
+
+    def test_virus_outbreak_small(self):
+        proc = _run("virus_outbreak.py", "256")
+        assert proc.returncode == 0, proc.stderr
+        assert "patient zero" in proc.stdout
+        assert "expected infections" in proc.stdout
+        assert "atomic transactions" in proc.stdout
+
+    def test_image_denoising_small(self):
+        proc = _run("image_denoising.py", "12")
+        assert proc.returncode == 0, proc.stderr
+        assert "mean absolute error" in proc.stdout
+        # BP must actually denoise: parse the error line
+        line = [l for l in proc.stdout.splitlines() if "mean absolute error" in l][0]
+        parts = line.split("|")
+        noisy = float(parts[0].split()[-1])
+        restored = float(parts[1].split()[-1])
+        assert restored < noisy
+
+    def test_exact_vs_loopy(self):
+        proc = _run("exact_vs_loopy.py", "3", "8")
+        assert proc.returncode == 0, proc.stderr
+        assert "junction-tree exact inference" in proc.stdout
+        assert "sum-product" in proc.stdout

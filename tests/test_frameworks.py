@@ -1,0 +1,170 @@
+"""The §5.2 graph-framework substrate: operators, semirings, algorithms."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.frameworks import (
+    MIN_PLUS,
+    OR_AND,
+    PLUS_TIMES,
+    FrontierFramework,
+    FrontierProgram,
+    SemiringSpmv,
+    bfs_depths,
+    connected_components,
+    pagerank,
+    sssp,
+    why_not_bp,
+)
+from repro.frameworks.csr import CsrGraph
+from tests.conftest import make_loopy_graph
+
+
+def random_csr(n=50, m=140, seed=0, weighted=True):
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n, size=(m, 2))
+    weights = rng.uniform(0.1, 2.0, size=m) if weighted else None
+    return CsrGraph(n, edges[:, 0], edges[:, 1], weights), edges, weights
+
+
+def to_networkx(n, edges, weights=None):
+    G = nx.DiGraph()
+    G.add_nodes_from(range(n))
+    for i, (u, v) in enumerate(edges):
+        w = float(weights[i]) if weights is not None else 1.0
+        if G.has_edge(int(u), int(v)):
+            G[int(u)][int(v)]["weight"] = min(G[int(u)][int(v)]["weight"], w)
+        else:
+            G.add_edge(int(u), int(v), weight=w)
+    return G
+
+
+class TestCsr:
+    def test_structure(self):
+        g = CsrGraph(4, [0, 0, 2], [1, 3, 1])
+        assert g.n_edges == 3
+        assert sorted(g.neighbours(0).tolist()) == [1, 3]
+        np.testing.assert_array_equal(g.out_degree(), [2, 0, 1, 0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="out of range"):
+            CsrGraph(2, [0], [5])
+        with pytest.raises(ValueError, match="weights"):
+            CsrGraph(2, [0], [1], [1.0, 2.0])
+
+    def test_from_belief_graph_drops_rich_data(self):
+        g = make_loopy_graph(seed=1)
+        csr = CsrGraph.from_belief_graph(g)
+        assert csr.n_edges == g.n_edges
+        assert csr.weights.ndim == 1  # scalars only — the §5.2 point
+
+
+class TestAlgorithmsVsNetworkx:
+    def test_sssp_matches_dijkstra(self):
+        g, edges, weights = random_csr(seed=3)
+        got = sssp(g, 0)
+        expected = nx.single_source_dijkstra_path_length(
+            to_networkx(g.n_nodes, edges, weights), 0
+        )
+        for node, dist in expected.items():
+            assert got[node] == pytest.approx(dist)
+        unreachable = set(range(g.n_nodes)) - set(expected)
+        assert all(np.isinf(got[v]) for v in unreachable)
+
+    def test_bfs_matches_networkx(self):
+        g, edges, _ = random_csr(seed=4, weighted=False)
+        got = bfs_depths(g, 0)
+        expected = nx.single_source_shortest_path_length(
+            to_networkx(g.n_nodes, edges), 0
+        )
+        for node, depth in expected.items():
+            assert got[node] == depth
+
+    def test_pagerank_matches_networkx(self):
+        g, edges, _ = random_csr(seed=5, weighted=False)
+        simple = np.unique(edges, axis=0)
+        g2 = CsrGraph(g.n_nodes, simple[:, 0], simple[:, 1])
+        got = pagerank(g2)
+        expected = nx.pagerank(
+            nx.DiGraph([(int(u), int(v)) for u, v in simple]), alpha=0.85
+        )
+        # networkx stops at its own (looser) tolerance; allow its residual
+        for node, score in expected.items():
+            assert got[node] == pytest.approx(score, abs=5e-4)
+        assert got.sum() == pytest.approx(1.0)
+
+    def test_components_match_networkx(self):
+        g, edges, _ = random_csr(n=40, m=50, seed=6)
+        got = connected_components(g)
+        expected = list(
+            nx.weakly_connected_components(to_networkx(g.n_nodes, edges))
+        )
+        assert got.max() + 1 == len(expected)
+        for comp in expected:
+            members = list(comp)
+            assert len(set(got[members].tolist())) == 1
+
+
+class TestSemiring:
+    def test_min_plus_is_one_relaxation_step(self):
+        g = CsrGraph(3, [0, 1], [1, 2], [2.0, 3.0])
+        x = np.array([0.0, np.inf, np.inf])
+        y = SemiringSpmv(g).multiply(x, MIN_PLUS)
+        np.testing.assert_allclose(y, [np.inf, 2.0, np.inf])
+
+    def test_or_and_reachability(self):
+        g = CsrGraph(3, [0, 1], [1, 2], [1.0, 1.0])
+        x = np.array([1.0, 0.0, 0.0])
+        y = SemiringSpmv(g).multiply(x, OR_AND)
+        assert y[1] == 1.0 and y[2] == 0.0
+
+    def test_plus_times_is_spmv(self):
+        g = CsrGraph(2, [0, 1], [1, 0], [3.0, 5.0])
+        y = SemiringSpmv(g).multiply(np.array([2.0, 1.0]), PLUS_TIMES)
+        np.testing.assert_allclose(y, [5.0, 6.0])
+
+    def test_rejects_vector_state(self):
+        g, *_ = random_csr()
+        with pytest.raises(ValueError, match="one scalar per node"):
+            SemiringSpmv(g).multiply(np.zeros((g.n_nodes, 2)), PLUS_TIMES)
+
+
+class TestFrontier:
+    def test_rejects_vector_state(self):
+        g, *_ = random_csr()
+        program = FrontierProgram(advance=lambda s, w, d: s, combine="min")
+        with pytest.raises(ValueError, match="one scalar per node"):
+            FrontierFramework(g).run(
+                program, np.zeros((g.n_nodes, 3)), np.array([0])
+            )
+
+    def test_unknown_combine(self):
+        with pytest.raises(ValueError, match="combine"):
+            FrontierProgram(advance=lambda s, w, d: s, combine="normalized-product")
+
+    def test_terminates_when_frontier_empties(self):
+        g = CsrGraph(3, [0], [1], [1.0])
+        program = FrontierProgram(advance=lambda s, w, d: s + w, combine="min")
+        vals = np.array([0.0, np.inf, np.inf])
+        result = FrontierFramework(g).run(program, vals, np.array([0]))
+        assert result.iterations <= 2
+        assert result.values[1] == 1.0 and np.isinf(result.values[2])
+
+
+class TestWhyNotBP:
+    def test_limitations_enumerated_and_demonstrated(self):
+        g = make_loopy_graph(seed=2)
+        limits = why_not_bp(g)
+        assert len(limits) >= 4
+        # the two data-model rejections actually fired
+        fired = [l for l in limits if "rejected" in l.demonstrated_by]
+        assert len(fired) >= 2
+
+    def test_bp_still_runs_on_credo(self):
+        """The §5.2 punchline: the same graph the frameworks reject is
+        Credo's bread and butter."""
+        from repro.core import LoopyBP
+
+        g = make_loopy_graph(seed=2)
+        assert LoopyBP().run(g).converged

@@ -1,0 +1,213 @@
+"""The GPU cost-model simulator (paper §2.3, §3.6, §4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sweepstats import SweepStats
+from repro.gpusim import (
+    A100,
+    GTX1070,
+    V100,
+    GpuDevice,
+    GpuOutOfMemoryError,
+    atomic_cost,
+    get_device,
+    launch_cost,
+    transfer_time,
+)
+from repro.gpusim.memory import MemoryTracker, random_time, sequential_time
+
+
+class TestSpecs:
+    def test_paper_quoted_numbers(self):
+        # "15 SMX processors, a total of 1920 CUDA cores and 8GB of VRAM"
+        assert GTX1070.sm_count == 15
+        assert GTX1070.total_cores == 1920
+        assert GTX1070.vram_bytes == 8 * 1024**3
+        # "5120 CUDA cores ... 16GB"
+        assert V100.total_cores == 5120
+        assert V100.vram_bytes == 16 * 1024**3
+
+    def test_volta_bandwidth_1_5x_pascal(self):
+        # §4.4: "a considerably 1.5x higher memory bandwidth over Pascal"
+        assert V100.mem_bandwidth / GTX1070.mem_bandwidth == pytest.approx(1.5)
+
+    def test_volta_atomics_cheaper(self):
+        assert V100.atomic_base_cycles < GTX1070.atomic_base_cycles
+        assert V100.atomic_serialize_cycles < GTX1070.atomic_serialize_cycles
+        assert V100.independent_thread_scheduling
+        assert not GTX1070.independent_thread_scheduling
+
+    def test_lookup_by_alias(self):
+        assert get_device("pascal") is GTX1070
+        assert get_device("volta") is V100
+        assert get_device(A100) is A100
+        with pytest.raises(KeyError):
+            get_device("tpu")
+
+
+class TestMemoryTracker:
+    def test_alloc_free(self):
+        mem = MemoryTracker(1000)
+        mem.alloc("a", 600)
+        assert mem.in_use == 600
+        mem.free("a")
+        assert mem.in_use == 0
+
+    def test_oom(self):
+        mem = MemoryTracker(1000)
+        mem.alloc("a", 600)
+        with pytest.raises(GpuOutOfMemoryError):
+            mem.alloc("b", 500)
+
+    def test_duplicate_name(self):
+        mem = MemoryTracker(1000)
+        mem.alloc("a", 10)
+        with pytest.raises(ValueError, match="already exists"):
+            mem.alloc("a", 10)
+
+    def test_free_unknown(self):
+        with pytest.raises(KeyError):
+            MemoryTracker(10).free("ghost")
+
+    def test_peak_tracked(self):
+        mem = MemoryTracker(1000)
+        mem.alloc("a", 700)
+        mem.free("a")
+        mem.alloc("b", 100)
+        assert mem.peak == 700
+
+
+class TestAccessModels:
+    def test_sequential_is_bandwidth_bound(self):
+        assert sequential_time(GTX1070, int(GTX1070.mem_bandwidth)) == pytest.approx(1.0)
+
+    def test_random_pays_sector_granularity(self):
+        # 8-byte gathers each burn a full 32-byte sector: 4x waste
+        t_small = random_time(GTX1070, 1000, 8.0)
+        t_exact = random_time(GTX1070, 1000, 32.0)
+        assert t_small == pytest.approx(t_exact)
+        # 128-byte gathers coalesce into 4 sectors, no waste
+        t_big = random_time(GTX1070, 1000, 128.0)
+        assert t_big == pytest.approx(4 * t_exact)
+
+    def test_transfer_latency_plus_bandwidth(self):
+        t = transfer_time(GTX1070, int(GTX1070.pcie_bandwidth), calls=1)
+        assert t == pytest.approx(1.0 + GTX1070.pcie_latency_seconds)
+        assert transfer_time(GTX1070, 0, calls=2) == pytest.approx(
+            2 * GTX1070.pcie_latency_seconds
+        )
+
+    def test_transfer_validation(self):
+        with pytest.raises(ValueError):
+            transfer_time(GTX1070, -1)
+        with pytest.raises(ValueError):
+            transfer_time(GTX1070, 0, calls=0)
+
+
+class TestAtomics:
+    def test_zero_atomics_cost_nothing(self):
+        assert atomic_cost(GTX1070, 0, 1) == 0.0
+
+    def test_contention_increases_cost(self):
+        spread = atomic_cost(GTX1070, 10_000, 10_000)
+        contended = atomic_cost(GTX1070, 10_000, 100)
+        assert contended > spread
+
+    def test_contention_saturates(self):
+        c1 = atomic_cost(GTX1070, 10_000, 10)
+        c2 = atomic_cost(GTX1070, 10_000, 1)
+        assert c2 == pytest.approx(c1)  # capped serialization depth
+
+    def test_volta_atomics_faster_than_pascal(self):
+        """§4.4: the very effect that promotes CUDA Edge on Volta."""
+        p = atomic_cost(GTX1070, 1_000_000, 100_000)
+        v = atomic_cost(V100, 1_000_000, 100_000)
+        assert v < p / 3
+
+
+class TestKernelCost:
+    def _stats(self, **kw):
+        base = dict(
+            nodes_processed=100_000,
+            edges_processed=400_000,
+            flops=400_000 * 12,
+            sequential_bytes=400_000 * 24,
+            random_bytes=400_000 * 16,
+            random_accesses=800_000,
+            atomic_ops=0,
+            reduction_elems=100_000,
+            kernel_launches=1,
+        )
+        base.update(kw)
+        return SweepStats(**base)
+
+    def test_total_is_roofline_sum(self):
+        cost = launch_cost(GTX1070, self._stats())
+        assert cost.total == pytest.approx(
+            cost.launch + max(cost.compute, cost.memory) + cost.atomics + cost.reduction
+        )
+
+    def test_atomics_add_cost(self):
+        plain = launch_cost(GTX1070, self._stats())
+        atomic = launch_cost(GTX1070, self._stats(atomic_ops=400_000))
+        assert atomic.total > plain.total
+
+    def test_small_kernels_latency_dominated(self):
+        tiny = launch_cost(GTX1070, self._stats(nodes_processed=10, edges_processed=40,
+                                                flops=480, sequential_bytes=960,
+                                                random_bytes=640, random_accesses=80,
+                                                reduction_elems=10))
+        # launch + exposed latency dwarf the actual work
+        assert tiny.launch + tiny.memory > 100 * tiny.compute
+
+    def test_wide_beliefs_reduce_occupancy(self):
+        narrow = launch_cost(GTX1070, self._stats(), random_access_bytes=8.0)
+        wide = launch_cost(GTX1070, self._stats(), random_access_bytes=128.0)
+        assert wide.memory > narrow.memory
+
+    def test_block_size_validated(self):
+        device = GpuDevice("gtx1070")
+        with pytest.raises(ValueError, match="block size"):
+            device.launch(self._stats(), threads_per_block=2048)
+
+
+class TestGpuDevice:
+    def test_context_init_charged_once(self):
+        device = GpuDevice("gtx1070")
+        assert device.elapsed == pytest.approx(GTX1070.context_init_seconds)
+
+    def test_alloc_charges_overhead_and_tracks(self):
+        device = GpuDevice("gtx1070")
+        t0 = device.elapsed
+        device.alloc("beliefs", 1024)
+        assert device.elapsed > t0
+        assert device.global_mem.in_use == 1024
+
+    def test_constant_memory_capacity(self):
+        device = GpuDevice("gtx1070")
+        with pytest.raises(GpuOutOfMemoryError):
+            device.alloc("big", 128 * 1024, space="constant")
+
+    def test_fits(self):
+        device = GpuDevice("gtx1070")
+        assert device.fits(GTX1070.vram_bytes)
+        assert not device.fits(GTX1070.vram_bytes + 1)
+
+    def test_management_fraction_high_for_tiny_workloads(self):
+        """§4.1.1: 99.8 % of the smallest benchmark is management."""
+        device = GpuDevice("gtx1070")
+        device.alloc("x", 4096)
+        device.h2d(4096)
+        device.launch(SweepStats(nodes_processed=10, edges_processed=40, flops=500,
+                                 sequential_bytes=1000, random_bytes=320,
+                                 random_accesses=80, kernel_launches=1))
+        assert device.breakdown.management_fraction > 0.9
+
+    def test_reset_restores_fresh_process(self):
+        device = GpuDevice("gtx1070")
+        device.alloc("x", 4096)
+        device.h2d(10**6)
+        device.reset()
+        assert device.elapsed == pytest.approx(GTX1070.context_init_seconds)
+        assert device.global_mem.in_use == 0

@@ -1,0 +1,38 @@
+"""Runtime-jitter relabeling (the §4.4 near-tie mechanism)."""
+
+import numpy as np
+import pytest
+
+from repro.credo.training import TrainingRow, relabel_with_jitter
+
+
+def _row(times, label="node"):
+    return TrainingRow("x", "binary", 2, np.zeros(5), label, dict(times), "c-edge", 1.0)
+
+
+class TestJitter:
+    def test_zero_scale_is_identity(self):
+        rows = [_row({"c-node": 1.0, "c-edge": 2.0})]
+        out = relabel_with_jitter(rows, 0.0)
+        assert out[0].label == "node"
+        assert out[0].times == rows[0].times
+
+    def test_wide_margins_survive_noise(self):
+        rows = [_row({"c-node": 1.0, "c-edge": 100.0})]
+        for seed in range(20):
+            assert relabel_with_jitter(rows, 0.15, seed=seed)[0].label == "node"
+
+    def test_near_ties_flip_sometimes(self):
+        rows = [_row({"c-node": 1.0, "c-edge": 1.02})]
+        labels = {relabel_with_jitter(rows, 0.15, seed=s)[0].label for s in range(30)}
+        assert labels == {"node", "edge"}
+
+    def test_deterministic_given_seed(self):
+        rows = [_row({"c-node": 1.0, "c-edge": 1.01}) for _ in range(10)]
+        a = [r.label for r in relabel_with_jitter(rows, 0.2, seed=3)]
+        b = [r.label for r in relabel_with_jitter(rows, 0.2, seed=3)]
+        assert a == b
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            relabel_with_jitter([], -0.1)

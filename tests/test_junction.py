@@ -1,0 +1,119 @@
+"""Junction-tree exact inference (extension; §5.1 related work)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LoopyBP, exact_marginals, observe
+from repro.core.junction import (
+    JunctionTree,
+    junction_tree_marginals,
+    treewidth_upper_bound,
+)
+from repro.graphs.grids import grid_graph
+from tests.conftest import make_loopy_graph, make_tree_graph
+
+
+class TestTreewidth:
+    def test_tree_has_width_one(self):
+        assert treewidth_upper_bound(make_tree_graph(seed=1, n_nodes=10)) == 1
+
+    def test_grid_width_bounded_by_side(self):
+        g = grid_graph(3, 6, seed=0)
+        assert 2 <= treewidth_upper_bound(g) <= 4
+
+    def test_edgeless_width_zero(self):
+        from repro.core.graph import BeliefGraph
+        from repro.core.potentials import attractive_potential
+
+        g = BeliefGraph.from_undirected(
+            np.full((3, 2), 0.5), np.empty((0, 2), dtype=np.int64),
+            attractive_potential(2, 0.8),
+        )
+        assert treewidth_upper_bound(g) == 0
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_enumeration_on_trees(self, seed):
+        g = make_tree_graph(seed=seed, n_nodes=9)
+        np.testing.assert_allclose(
+            junction_tree_marginals(g), exact_marginals(g), atol=1e-10
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_enumeration_on_loopy_graphs(self, seed):
+        g = make_loopy_graph(seed=seed, n_nodes=12, n_edges=18)
+        np.testing.assert_allclose(
+            junction_tree_marginals(g), exact_marginals(g), atol=1e-10
+        )
+
+    def test_three_state_graph(self):
+        g = make_loopy_graph(seed=5, n_nodes=10, n_edges=14, n_states=3)
+        np.testing.assert_allclose(
+            junction_tree_marginals(g), exact_marginals(g), atol=1e-10
+        )
+
+    def test_with_evidence(self):
+        g = make_loopy_graph(seed=6, n_nodes=10, n_edges=14)
+        observe(g, 3, 1)
+        np.testing.assert_allclose(
+            junction_tree_marginals(g), exact_marginals(g), atol=1e-10
+        )
+
+    def test_beyond_enumeration_scale(self):
+        """The point of the junction tree: exact marginals on a 60-node
+        grid (2^60 configurations — far past brute force) that loopy BP
+        approximates well."""
+        g = grid_graph(3, 20, seed=1, coupling=0.7)
+        exact = junction_tree_marginals(g)
+        loopy = LoopyBP().run(g.copy())
+        assert np.abs(loopy.beliefs - exact).max() < 0.08
+        np.testing.assert_allclose(exact.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestStructure:
+    def test_width_guard(self):
+        rng = np.random.default_rng(0)
+        # a dense graph blows the width cap
+        edges = np.array([(i, j) for i in range(16) for j in range(i + 1, 16)])
+        from repro.core.graph import BeliefGraph
+        from repro.core.potentials import attractive_potential
+
+        g = BeliefGraph.from_undirected(
+            rng.dirichlet([1, 1], size=16), edges, attractive_potential(2, 0.8)
+        )
+        with pytest.raises(ValueError, match="intractable"):
+            JunctionTree(g, max_width=8)
+
+    def test_running_intersection_property(self):
+        g = make_loopy_graph(seed=7, n_nodes=14, n_edges=22)
+        jt = JunctionTree(g)
+        # every variable's cliques form a connected subtree
+        for v in range(g.n_nodes):
+            members = [i for i, c in enumerate(jt.cliques) if v in c.variables]
+            if len(members) <= 1:
+                continue
+            # BFS within the member-induced subgraph of the clique tree
+            seen = {members[0]}
+            frontier = [members[0]]
+            while frontier:
+                c = frontier.pop()
+                for nb in jt.cliques[c].neighbours:
+                    if nb in members and nb not in seen:
+                        seen.add(nb)
+                        frontier.append(nb)
+            assert seen == set(members), f"variable {v} violates RIP"
+
+    def test_disconnected_components(self):
+        from repro.core.graph import BeliefGraph
+        from repro.core.potentials import attractive_potential
+
+        rng = np.random.default_rng(1)
+        g = BeliefGraph.from_undirected(
+            rng.dirichlet([1, 1], size=6),
+            np.array([[0, 1], [1, 2], [3, 4], [4, 5]]),
+            attractive_potential(2, 0.8),
+        )
+        np.testing.assert_allclose(
+            junction_tree_marginals(g), exact_marginals(g), atol=1e-10
+        )

@@ -1,0 +1,148 @@
+"""The remaining classifiers the paper compares (§4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    GaussianNBClassifier,
+    GradientBoostingClassifier,
+    KNeighborsClassifier,
+    LinearSVMClassifier,
+    MLPClassifier,
+)
+
+
+def blobs(n=150, seed=0, gap=3.0):
+    rng = np.random.default_rng(seed)
+    X0 = rng.normal(0.0, 1.0, size=(n, 2))
+    X1 = rng.normal(gap, 1.0, size=(n, 2))
+    return np.vstack([X0, X1]), np.array([0] * n + [1] * n)
+
+
+ALL = [
+    KNeighborsClassifier(5),
+    GaussianNBClassifier(),
+    LinearSVMClassifier(max_iter=120),
+    MLPClassifier(max_iter=250),
+    GradientBoostingClassifier(n_estimators=25),
+]
+
+
+@pytest.mark.parametrize("clf", ALL, ids=lambda c: type(c).__name__)
+class TestCommonBehaviour:
+    def test_separable_blobs(self, clf):
+        X, y = blobs()
+        clf.fit(X, y)
+        assert clf.score(X, y) > 0.95
+
+    def test_predict_proba_normalized(self, clf):
+        X, y = blobs(60)
+        proba = clf.fit(X, y).predict_proba(X)
+        assert proba.shape == (len(X), 2)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_string_labels(self, clf):
+        X, y = blobs(40)
+        labels = np.where(y == 0, "edge", "node")
+        clf.fit(X, labels)
+        assert set(clf.predict(X)) <= {"edge", "node"}
+
+    def test_shape_mismatch_raises(self, clf):
+        with pytest.raises(ValueError):
+            clf.fit(np.zeros((4, 2)), np.zeros(5))
+
+
+class TestKNN:
+    def test_k1_memorizes(self):
+        X, y = blobs(30)
+        knn = KNeighborsClassifier(1).fit(X, y)
+        np.testing.assert_array_equal(knn.predict(X), y)
+
+    def test_distance_weighting(self):
+        X = np.array([[0.0], [1.0], [1.1], [1.2]])
+        y = np.array([0, 1, 1, 1])
+        uniform = KNeighborsClassifier(4, weights="uniform").fit(X, y)
+        weighted = KNeighborsClassifier(4, weights="distance").fit(X, y)
+        q = np.array([[0.05]])
+        # uniform majority says 1; distance weighting favours the close 0
+        assert weighted.predict_proba(q)[0, 0] > uniform.predict_proba(q)[0, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(0)
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(3, weights="cosine")
+
+
+class TestGaussianNB:
+    def test_means_learned(self):
+        X, y = blobs(200, gap=5.0)
+        nb = GaussianNBClassifier().fit(X, y)
+        np.testing.assert_allclose(nb.theta_[0], [0, 0], atol=0.4)
+        np.testing.assert_allclose(nb.theta_[1], [5, 5], atol=0.4)
+
+    def test_priors_reflect_imbalance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 1))
+        y = np.array([0] * 90 + [1] * 10)
+        nb = GaussianNBClassifier().fit(X, y)
+        assert nb.class_prior_[0] == pytest.approx(0.9)
+
+    def test_interaction_structure_defeats_nb(self):
+        """§4.3: NB's independence assumption fails on interacting
+        features (XOR has identical per-class marginals)."""
+        rng = np.random.default_rng(1)
+        X = rng.random((400, 2))
+        y = ((X[:, 0] > 0.5) ^ (X[:, 1] > 0.5)).astype(int)
+        nb = GaussianNBClassifier().fit(X, y)
+        assert nb.score(X, y) < 0.7
+
+
+class TestLinearSVM:
+    def test_margin_sign(self):
+        X, y = blobs(100, gap=4.0)
+        svm = LinearSVMClassifier(max_iter=150).fit(X, y)
+        scores = svm.decision_function(X)[:, 0]
+        assert (scores[y == 1] > 0).mean() > 0.95
+
+    def test_multiclass_one_vs_rest(self):
+        rng = np.random.default_rng(2)
+        means = [(0.0, 0.0), (5.0, 0.0), (0.0, 5.0)]  # OvR-separable triangle
+        X = np.vstack([rng.normal(mu, 0.5, size=(40, 2)) for mu in means])
+        y = np.repeat([0, 1, 2], 40)
+        svm = LinearSVMClassifier(max_iter=150).fit(X, y)
+        assert svm.coef_.shape == (3, 2)
+        assert svm.score(X, y) > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearSVMClassifier(C=0.0)
+
+
+class TestMLPAndBoosting:
+    def test_mlp_learns_xor(self):
+        rng = np.random.default_rng(3)
+        X = rng.random((300, 2))
+        y = ((X[:, 0] > 0.5) ^ (X[:, 1] > 0.5)).astype(int)
+        mlp = MLPClassifier(
+            hidden_units=32, max_iter=1000, learning_rate=0.02, random_state=0
+        ).fit(X, y)
+        assert mlp.score(X, y) > 0.9
+
+    def test_boosting_improves_with_stages(self):
+        rng = np.random.default_rng(4)
+        X = rng.random((300, 2))
+        y = ((X[:, 0] > 0.5) ^ (X[:, 1] > 0.5)).astype(int)
+        weak = GradientBoostingClassifier(n_estimators=1).fit(X, y)
+        strong = GradientBoostingClassifier(n_estimators=40).fit(X, y)
+        assert strong.score(X, y) > weak.score(X, y)
+
+    def test_boosting_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(learning_rate=0.0)
+
+    def test_mlp_validation(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(hidden_units=0)

@@ -1,0 +1,58 @@
+"""Gaussian-process classifier (the paper's Figure 10 comparison)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gp import GaussianProcessClassifier
+
+
+def blobs(n=60, seed=0, gap=3.0):
+    rng = np.random.default_rng(seed)
+    X0 = rng.normal(0.0, 1.0, size=(n, 2))
+    X1 = rng.normal(gap, 1.0, size=(n, 2))
+    return np.vstack([X0, X1]), np.array([0] * n + [1] * n)
+
+
+class TestGaussianProcess:
+    def test_separable_blobs(self):
+        X, y = blobs()
+        gp = GaussianProcessClassifier(length_scale=1.5).fit(X, y)
+        assert gp.score(X, y) > 0.93
+
+    def test_probabilities_normalized_and_calibrated_direction(self):
+        X, y = blobs(40, gap=4.0)
+        gp = GaussianProcessClassifier(length_scale=1.5).fit(X, y)
+        proba = gp.predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+        # deep inside class 1's blob the posterior leans to class 1
+        q = np.array([[4.0, 4.0]])
+        assert gp.predict_proba(q)[0, 1] > 0.7
+
+    def test_nonlinear_boundary(self):
+        """GPs (unlike the linear SVM) handle a circular boundary."""
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-2, 2, size=(200, 2))
+        y = (np.linalg.norm(X, axis=1) < 1.0).astype(int)
+        gp = GaussianProcessClassifier(length_scale=0.7).fit(X, y)
+        assert gp.score(X, y) > 0.9
+
+    def test_multiclass_one_vs_rest(self):
+        rng = np.random.default_rng(2)
+        means = [(0, 0), (4, 0), (0, 4)]
+        X = np.vstack([rng.normal(mu, 0.5, size=(25, 2)) for mu in means])
+        y = np.repeat(["a", "b", "c"], 25)
+        gp = GaussianProcessClassifier(length_scale=1.0).fit(X, y)
+        assert gp.score(X, y) > 0.95
+        assert gp.predict_proba(X).shape == (75, 3)
+
+    def test_string_labels(self):
+        X, y = blobs(20)
+        labels = np.where(y == 0, "edge", "node")
+        gp = GaussianProcessClassifier().fit(X, labels)
+        assert set(gp.predict(X)) <= {"edge", "node"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianProcessClassifier(length_scale=0.0)
+        with pytest.raises(ValueError):
+            GaussianProcessClassifier(noise=-1.0)

@@ -1,0 +1,168 @@
+"""Metrics, model selection and preprocessing (paper §4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    KFold,
+    PCA,
+    StandardScaler,
+    accuracy_score,
+    confusion_matrix,
+    cross_val_score,
+    f1_score,
+    train_test_split,
+)
+from repro.ml.metrics import precision_recall_f1
+from repro.ml.model_selection import balanced_subsample
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score([1, 0, 1, 1], [1, 0, 0, 1]) == pytest.approx(0.75)
+
+    def test_f1_hand_computed(self):
+        # tp=2, fp=1, fn=1 -> precision=2/3, recall=2/3, f1=2/3
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 1, 0]
+        p, r, f1 = precision_recall_f1(y_true, y_pred, positive=1)
+        assert (p, r) == (pytest.approx(2 / 3), pytest.approx(2 / 3))
+        assert f1 == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_f1_perfect_and_zero(self):
+        assert f1_score([1, 0], [1, 0]) == 1.0
+        assert f1_score([1, 1], [0, 0]) == 0.0
+
+    def test_f1_string_labels_default_positive(self):
+        # lexicographically larger label is positive
+        assert f1_score(["node", "edge"], ["node", "edge"]) == 1.0
+
+    def test_macro_f1(self):
+        y_true = [0, 0, 1, 1, 2, 2]
+        y_pred = [0, 0, 1, 1, 1, 2]
+        macro = f1_score(y_true, y_pred, average="macro")
+        per_class = [
+            precision_recall_f1(y_true, y_pred, c)[2] for c in (0, 1, 2)
+        ]
+        assert macro == pytest.approx(np.mean(per_class))
+
+    def test_binary_f1_rejects_multiclass(self):
+        with pytest.raises(ValueError, match="binary"):
+            f1_score([0, 1, 2], [0, 1, 2])
+
+    def test_confusion_matrix(self):
+        cm = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_array_equal(cm, [[1, 1], [0, 2]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestModelSelection:
+    def test_split_sizes_60_40(self):
+        X = np.arange(100).reshape(-1, 1)
+        y = np.array([0, 1] * 50)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.4, random_state=0)
+        assert len(Xte) == 40 and len(Xtr) == 60
+        assert len(ytr) == 60 and len(yte) == 40
+
+    def test_split_partitions(self):
+        X = np.arange(50).reshape(-1, 1)
+        y = np.array([0, 1] * 25)
+        Xtr, Xte, _, _ = train_test_split(X, y, random_state=1)
+        combined = np.sort(np.concatenate([Xtr, Xte]).reshape(-1))
+        np.testing.assert_array_equal(combined, np.arange(50))
+
+    def test_stratified_split_balanced(self):
+        X = np.zeros((100, 1))
+        y = np.array([0] * 80 + [1] * 20)
+        _, _, ytr, yte = train_test_split(X, y, test_size=0.4, random_state=2)
+        assert abs((ytr == 1).mean() - 0.2) < 0.05
+        assert abs((yte == 1).mean() - 0.2) < 0.05
+
+    def test_kfold_covers_everything_once(self):
+        X = np.arange(10)
+        folds = list(KFold(3, random_state=0).split(X))
+        assert len(folds) == 3
+        all_test = np.sort(np.concatenate([test for _, test in folds]))
+        np.testing.assert_array_equal(all_test, np.arange(10))
+        for train, test in folds:
+            assert len(np.intersect1d(train, test)) == 0
+
+    def test_kfold_validation(self):
+        with pytest.raises(ValueError):
+            KFold(1)
+        with pytest.raises(ValueError):
+            list(KFold(5).split(np.arange(3)))
+
+    def test_cross_val_score_three_folds(self):
+        from repro.ml import DecisionTreeClassifier
+
+        rng = np.random.default_rng(0)
+        X = rng.random((60, 1))
+        y = (X[:, 0] > 0.5).astype(int)
+        scores = cross_val_score(lambda: DecisionTreeClassifier(max_depth=2), X, y, cv=3)
+        assert scores.shape == (3,)
+        assert scores.mean() > 0.9
+
+    def test_balanced_subsample(self):
+        X = np.zeros((100, 1))
+        y = np.array([0] * 80 + [1] * 20)
+        _, ys = balanced_subsample(X, y, 30, random_state=0)
+        assert len(ys) == 30
+        assert (ys == 1).sum() >= 10  # far above the 20% base rate
+
+    def test_balanced_subsample_too_many(self):
+        with pytest.raises(ValueError):
+            balanced_subsample(np.zeros((5, 1)), np.zeros(5), 6)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.2])
+    def test_split_validation(self, bad):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), test_size=bad)
+
+
+class TestPreprocessing:
+    def test_scaler_zero_mean_unit_var(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(200, 2))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_scaler_constant_feature_safe(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.isfinite(Z).all()
+
+    def test_scaler_inverse(self):
+        X = np.random.default_rng(1).random((20, 3))
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(X)), X, atol=1e-12)
+
+    def test_pca_recovers_dominant_direction(self):
+        rng = np.random.default_rng(2)
+        t = rng.normal(size=500)
+        X = np.column_stack([t, 2 * t]) + rng.normal(0, 0.01, size=(500, 2))
+        pca = PCA(1).fit(X)
+        direction = pca.components_[0] / np.linalg.norm(pca.components_[0])
+        expected = np.array([1.0, 2.0]) / np.sqrt(5)
+        assert abs(abs(direction @ expected) - 1.0) < 1e-3
+        assert pca.explained_variance_ratio_[0] > 0.99
+
+    def test_pca_transform_inverse_roundtrip(self):
+        X = np.random.default_rng(3).random((30, 4))
+        pca = PCA(4).fit(X)
+        np.testing.assert_allclose(
+            pca.inverse_transform(pca.transform(X)), X, atol=1e-10
+        )
+
+    def test_pca_validation(self):
+        with pytest.raises(ValueError):
+            PCA(0)
+        from repro.ml.base import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            PCA(1).transform(np.zeros((2, 2)))

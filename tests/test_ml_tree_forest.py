@@ -1,0 +1,143 @@
+"""Decision tree and random forest (paper §3.7, §4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeClassifier, RandomForestClassifier, f1_score
+from repro.ml.base import NotFittedError
+
+
+def xor_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 2))
+    y = ((X[:, 0] > 0.5) ^ (X[:, 1] > 0.5)).astype(int)
+    return X, y
+
+
+def stripes(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 1)) * 4
+    y = (X[:, 0].astype(int) % 2).astype(int)
+    return X, y
+
+
+class TestDecisionTree:
+    def test_fits_axis_aligned_split_perfectly(self):
+        X = np.array([[0.1], [0.2], [0.8], [0.9]])
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        np.testing.assert_array_equal(tree.predict(X), y)
+        assert tree.depth() == 1
+
+    def test_xor_needs_depth_two(self):
+        X, y = xor_data()
+        shallow = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        deep = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert deep.score(X, y) > shallow.score(X, y)
+        assert deep.score(X, y) > 0.95
+
+    def test_max_depth_respected(self):
+        X, y = xor_data()
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.depth() <= 2
+
+    def test_min_samples_leaf(self):
+        X, y = xor_data(50)
+        tree = DecisionTreeClassifier(min_samples_leaf=10).fit(X, y)
+
+        def leaf_sizes(node):
+            if node.is_leaf:
+                return [int(node.counts.sum())]
+            return leaf_sizes(node.left) + leaf_sizes(node.right)
+
+        assert min(leaf_sizes(tree.root_)) >= 10
+
+    def test_predict_proba_normalized(self):
+        X, y = xor_data()
+        proba = DecisionTreeClassifier(max_depth=3).fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_string_labels_roundtrip(self):
+        X = np.array([[0.0], [1.0], [0.1], [0.9]])
+        y = np.array(["edge", "node", "edge", "node"])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert set(tree.predict(X)) <= {"edge", "node"}
+
+    def test_feature_importances_sum_to_one(self):
+        X, y = xor_data()
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_pure_node_stops_splitting(self):
+        X = np.array([[0.0], [0.1], [0.2]])
+        y = np.array([1, 1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.root_.is_leaf
+
+    def test_describe_renders_structure(self):
+        X, y = xor_data()
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        text = tree.describe(["alpha", "beta"])
+        assert "alpha" in text or "beta" in text
+        assert "<=" in text
+
+    def test_not_fitted_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"max_depth": 0}, {"min_samples_split": 1}, {"min_samples_leaf": 0}]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(**kwargs)
+
+    def test_deterministic_given_seed(self):
+        X, y = xor_data()
+        t1 = DecisionTreeClassifier(max_depth=3, max_features=1, random_state=7).fit(X, y)
+        t2 = DecisionTreeClassifier(max_depth=3, max_features=1, random_state=7).fit(X, y)
+        np.testing.assert_array_equal(t1.predict(X), t2.predict(X))
+
+
+class TestRandomForest:
+    def test_beats_single_stump_on_xor(self):
+        X, y = xor_data(400)
+        stump = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        forest = RandomForestClassifier(
+            n_estimators=14, max_depth=6, random_state=0
+        ).fit(X, y)
+        assert forest.score(X, y) > stump.score(X, y)
+
+    def test_paper_configuration_learns_stripes(self):
+        X, y = stripes(300)
+        forest = RandomForestClassifier(
+            n_estimators=14, max_depth=6, random_state=0
+        ).fit(X, y)
+        assert f1_score(y, forest.predict(X)) > 0.9
+
+    def test_n_estimators_trees_built(self):
+        X, y = xor_data(100)
+        forest = RandomForestClassifier(n_estimators=5, random_state=0).fit(X, y)
+        assert len(forest.estimators_) == 5
+
+    def test_probabilities_normalized(self):
+        X, y = xor_data(100)
+        proba = RandomForestClassifier(n_estimators=5, random_state=0).fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_feature_importances_highlight_informative(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((300, 3))
+        y = (X[:, 1] > 0.5).astype(int)  # only feature 1 matters
+        forest = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y)
+        assert forest.feature_importances_.argmax() == 1
+
+    def test_reproducible(self):
+        X, y = xor_data(150)
+        f1 = RandomForestClassifier(n_estimators=6, random_state=3).fit(X, y)
+        f2 = RandomForestClassifier(n_estimators=6, random_state=3).fit(X, y)
+        np.testing.assert_array_equal(f1.predict(X), f2.predict(X))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)

@@ -1,0 +1,116 @@
+"""The Bayesian-network IR and its pairwise projection (paper §2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import exact_marginals
+from repro.io.network import BayesianNetwork, Cpt, Variable, network_to_belief_graph
+
+
+def chain_network():
+    """a -> b -> c, all binary."""
+    net = BayesianNetwork(name="chain")
+    for name in ("a", "b", "c"):
+        net.add_variable(Variable(name, ["t", "f"]))
+    net.add_cpt(Cpt("a", [], np.array([0.3, 0.7])))
+    net.add_cpt(Cpt("b", ["a"], np.array([[0.9, 0.1], [0.2, 0.8]])))
+    net.add_cpt(Cpt("c", ["b"], np.array([[0.6, 0.4], [0.1, 0.9]])))
+    return net
+
+
+class TestVariable:
+    def test_state_index(self):
+        v = Variable("x", ["low", "high"])
+        assert v.state_index("high") == 1
+        with pytest.raises(KeyError):
+            v.state_index("medium")
+
+    def test_arity(self):
+        assert Variable("x", ["a", "b", "c"]).arity == 3
+
+
+class TestNetworkValidation:
+    def test_duplicate_variable(self):
+        net = BayesianNetwork(name="n")
+        net.add_variable(Variable("x", ["t", "f"]))
+        with pytest.raises(ValueError, match="duplicate"):
+            net.add_variable(Variable("x", ["t", "f"]))
+
+    def test_cpt_shape_checked(self):
+        net = BayesianNetwork(name="n")
+        net.add_variable(Variable("x", ["t", "f"]))
+        with pytest.raises(ValueError, match="shape"):
+            net.add_cpt(Cpt("x", [], np.array([0.5, 0.3, 0.2])))
+
+    def test_cpt_rows_must_normalize(self):
+        net = BayesianNetwork(name="n")
+        net.add_variable(Variable("x", ["t", "f"]))
+        with pytest.raises(ValueError, match="sum to 1"):
+            net.add_cpt(Cpt("x", [], np.array([0.9, 0.3])))
+
+    def test_undeclared_child(self):
+        net = BayesianNetwork(name="n")
+        with pytest.raises(ValueError, match="undeclared"):
+            net.add_cpt(Cpt("ghost", [], np.array([0.5, 0.5])))
+
+    def test_missing_cpt_on_validate(self):
+        net = BayesianNetwork(name="n")
+        net.add_variable(Variable("x", ["t", "f"]))
+        with pytest.raises(ValueError, match="no probability block"):
+            net.validate()
+
+
+class TestPriors:
+    def test_chain_marginal_priors(self):
+        net = chain_network()
+        # p(b=t) = 0.3*0.9 + 0.7*0.2 = 0.41
+        np.testing.assert_allclose(net.prior("b"), [0.41, 0.59], atol=1e-12)
+        # p(c=t) = 0.41*0.6 + 0.59*0.1 = 0.305
+        np.testing.assert_allclose(net.prior("c"), [0.305, 0.695], atol=1e-12)
+
+
+class TestProjection:
+    def test_chain_projection_preserves_joint_on_trees(self):
+        """For tree-shaped Bayesian networks the pairwise projection is
+        exact: the MRF marginals equal the ancestral marginals."""
+        net = chain_network()
+        graph = network_to_belief_graph(net)
+        marg = exact_marginals(graph)
+        np.testing.assert_allclose(marg[0], net.prior("a"), atol=1e-5)
+        np.testing.assert_allclose(marg[1], net.prior("b"), atol=1e-5)
+        np.testing.assert_allclose(marg[2], net.prior("c"), atol=1e-5)
+
+    def test_multi_parent_projection_marginalizes_others(self):
+        net = BayesianNetwork(name="v")
+        for name in ("a", "b", "c"):
+            net.add_variable(Variable(name, ["t", "f"]))
+        net.add_cpt(Cpt("a", [], np.array([0.5, 0.5])))
+        net.add_cpt(Cpt("b", [], np.array([0.2, 0.8])))
+        table = np.array([[[0.99, 0.01], [0.7, 0.3]], [[0.6, 0.4], [0.05, 0.95]]])
+        net.add_cpt(Cpt("c", ["a", "b"], table))
+        graph = network_to_belief_graph(net)
+        # edge a->c carries p(c|a) with b marginalized under its prior
+        edge = [
+            e for e in range(graph.n_edges)
+            if graph.node_names[graph.src[e]] == "a"
+            and graph.node_names[graph.dst[e]] == "c"
+        ][0]
+        expected = 0.2 * table[:, 0, :] + 0.8 * table[:, 1, :]
+        np.testing.assert_allclose(
+            graph.potentials.matrix(edge), expected, atol=1e-6
+        )
+
+    def test_ragged_network_projection(self):
+        net = BayesianNetwork(name="r")
+        net.add_variable(Variable("x", ["a", "b"]))
+        net.add_variable(Variable("y", ["p", "q", "r"]))
+        net.add_cpt(Cpt("x", [], np.array([0.4, 0.6])))
+        net.add_cpt(
+            Cpt("y", ["x"], np.array([[0.5, 0.25, 0.25], [0.1, 0.1, 0.8]]))
+        )
+        graph = network_to_belief_graph(net)
+        assert not graph.uniform
+        from repro.backends.reference import ReferenceBackend
+
+        result = ReferenceBackend().run(graph)
+        assert result.converged

@@ -1,0 +1,65 @@
+"""Selector serialization round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.credo.persistence import load_selector, save_selector
+from repro.credo.selector import CredoSelector
+from repro.credo.training import TrainingRow
+from repro.graphs.synthetic import synthetic_graph
+
+
+def _rows(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n):
+        size = float(10 ** rng.uniform(2, 6))
+        label = "node" if size > 50_000 else "edge"
+        feats = np.array(
+            [size, rng.uniform(0.1, 1), rng.choice([2.0, 3.0, 32.0]),
+             rng.uniform(0, 1), rng.uniform(0, 1)]
+        )
+        rows.append(TrainingRow("syn", "binary", 2, feats, label, {}, "c-edge", 1.0))
+    return rows
+
+
+class TestPersistence:
+    def test_roundtrip_predictions_identical(self, tmp_path):
+        selector = CredoSelector().fit(_rows())
+        path = tmp_path / "selector.json"
+        save_selector(selector, path)
+        loaded = load_selector(path)
+        for seed, (n, m) in enumerate([(100, 400), (5_000, 20_000), (150_000, 300_000)]):
+            g = synthetic_graph(n, m, seed=seed)
+            assert loaded.select(g) == selector.select(g)
+
+    def test_roundtrip_probabilities_identical(self, tmp_path):
+        selector = CredoSelector().fit(_rows())
+        path = tmp_path / "selector.json"
+        save_selector(selector, path)
+        loaded = load_selector(path)
+        X = np.array([r.features for r in _rows(10, seed=3)])
+        np.testing.assert_allclose(
+            loaded.classifier.predict_proba(X),
+            selector.classifier.predict_proba(X),
+        )
+
+    def test_artifact_is_json(self, tmp_path):
+        import json
+
+        selector = CredoSelector().fit(_rows())
+        path = tmp_path / "selector.json"
+        save_selector(selector, path)
+        doc = json.loads(path.read_text())
+        assert doc["format_version"] == 1
+        assert len(doc["trees"]) == doc["n_estimators"]
+
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="not fitted"):
+            save_selector(CredoSelector(), tmp_path / "x.json")
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 99}')
+        with pytest.raises(ValueError, match="version"):
+            load_selector(path)

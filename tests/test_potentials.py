@@ -1,0 +1,106 @@
+"""Potential stores (paper §2.2): shared vs per-edge."""
+
+import numpy as np
+import pytest
+
+from repro.core.potentials import (
+    PerEdgePotentialStore,
+    SharedPotentialStore,
+    attractive_potential,
+    random_potential,
+)
+
+
+class TestSharedStore:
+    def test_same_matrix_for_every_edge(self):
+        mat = attractive_potential(2, 0.8)
+        store = SharedPotentialStore(mat, 5)
+        for e in range(5):
+            np.testing.assert_allclose(store.matrix(e), mat)
+
+    def test_out_of_range_edge(self):
+        store = SharedPotentialStore(attractive_potential(2, 0.8), 3)
+        with pytest.raises(IndexError):
+            store.matrix(3)
+
+    def test_stacked_is_broadcast_no_copy(self):
+        store = SharedPotentialStore(attractive_potential(2, 0.8), 1000)
+        stack = store.stacked()
+        assert stack.shape == (1000, 2, 2)
+        assert stack.base is not None  # broadcast view, not materialized
+
+    def test_nbytes_is_single_matrix(self):
+        mat = attractive_potential(4, 0.8)
+        store = SharedPotentialStore(mat, 10**6)
+        assert store.nbytes() == mat.nbytes
+
+    def test_transpose_for_reverse(self):
+        rng = np.random.default_rng(0)
+        mat = random_potential(3, rng)
+        rev = SharedPotentialStore(mat, 4).transpose_for_reverse()
+        np.testing.assert_allclose(rev.matrix(0), mat.T)
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError):
+            SharedPotentialStore(np.array([[0.5, -0.5], [0.5, 0.5]]), 1)
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            SharedPotentialStore(np.ones(4), 1)
+
+
+class TestPerEdgeStore:
+    def test_stacked_input(self):
+        mats = np.random.default_rng(0).random((4, 2, 2)).astype(np.float32)
+        store = PerEdgePotentialStore(mats)
+        assert len(store) == 4
+        np.testing.assert_allclose(store.matrix(2), mats[2])
+        assert not store.is_ragged
+
+    def test_ragged_input(self):
+        mats = [np.ones((2, 2), dtype=np.float32), np.ones((3, 2), dtype=np.float32)]
+        store = PerEdgePotentialStore(mats)
+        assert store.is_ragged
+        assert store.matrix(1).shape == (3, 2)
+        with pytest.raises(ValueError):
+            store.stacked()
+
+    def test_transpose_for_reverse_stack(self):
+        mats = np.random.default_rng(1).random((3, 2, 2)).astype(np.float32)
+        rev = PerEdgePotentialStore(mats).transpose_for_reverse()
+        np.testing.assert_allclose(rev.matrix(1), mats[1].T)
+
+    def test_nbytes_counts_all(self):
+        mats = np.ones((10, 2, 2), dtype=np.float32)
+        assert PerEdgePotentialStore(mats).nbytes() == mats.nbytes
+
+    def test_shared_is_smaller_than_per_edge(self):
+        """The §2.2 motivation: the shared matrix removes the dominant
+        memory consumer."""
+        mats = np.broadcast_to(attractive_potential(2, 0.7), (10_000, 2, 2)).copy()
+        shared = SharedPotentialStore(attractive_potential(2, 0.7), 10_000)
+        per_edge = PerEdgePotentialStore(mats)
+        assert shared.nbytes() * 1000 < per_edge.nbytes()
+
+
+class TestGenerators:
+    def test_random_potential_rows_normalized(self):
+        rng = np.random.default_rng(0)
+        mat = random_potential(4, rng)
+        np.testing.assert_allclose(mat.sum(axis=1), 1.0, atol=1e-5)
+        assert (mat > 0).all()
+
+    def test_attractive_diagonal_dominates(self):
+        mat = attractive_potential(3, 0.9)
+        off = mat + np.diag(np.full(3, -np.inf))
+        assert (np.diag(mat) > off.max(axis=1)).all()
+        np.testing.assert_allclose(mat.sum(axis=1), 1.0, atol=1e-6)
+
+    @pytest.mark.parametrize("strength", [0.0, 1.0, -0.5])
+    def test_attractive_rejects_bad_strength(self, strength):
+        with pytest.raises(ValueError):
+            attractive_potential(2, strength)
+
+    def test_attractive_rejects_single_state(self):
+        with pytest.raises(ValueError):
+            attractive_potential(1, 0.5)

@@ -1,0 +1,89 @@
+"""Property-based tests on the cost models: monotonicity and sanity."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends.cpu_cost import I7_7700HQ, cpu_sweep_time
+from repro.core.sweepstats import SweepStats
+from repro.gpusim import GTX1070, V100, atomic_cost, launch_cost, transfer_time
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+@st.composite
+def stats_strategy(draw):
+    accesses = draw(st.integers(min_value=0, max_value=10**7))
+    return SweepStats(
+        nodes_processed=draw(st.integers(min_value=1, max_value=10**6)),
+        edges_processed=draw(st.integers(min_value=1, max_value=10**7)),
+        flops=draw(st.integers(min_value=0, max_value=10**10)),
+        sequential_bytes=draw(st.integers(min_value=0, max_value=10**10)),
+        # bytes consistent with the access count (the kernels' invariant)
+        random_bytes=accesses * 8,
+        random_accesses=accesses,
+        atomic_ops=draw(st.integers(min_value=0, max_value=10**7)),
+        reduction_elems=draw(st.integers(min_value=0, max_value=10**6)),
+        kernel_launches=draw(st.integers(min_value=1, max_value=64)),
+    )
+
+
+class TestCostModelProperties:
+    @given(stats_strategy())
+    @settings(**SETTINGS)
+    def test_kernel_cost_positive_and_finite(self, stats):
+        cost = launch_cost(GTX1070, stats)
+        assert cost.total > 0
+        assert np.isfinite(cost.total)
+
+    @given(stats_strategy(), st.integers(min_value=1, max_value=10**8))
+    @settings(**SETTINGS)
+    def test_more_flops_never_cheaper(self, stats, extra):
+        base = launch_cost(GTX1070, stats).total
+        bigger = SweepStats(**{**stats.__dict__, "flops": stats.flops + extra})
+        assert launch_cost(GTX1070, bigger).total >= base - 1e-15
+
+    @given(stats_strategy())
+    @settings(**SETTINGS)
+    def test_volta_kernels_never_slower_for_same_work(self, stats):
+        pascal = launch_cost(GTX1070, stats)
+        volta = launch_cost(V100, stats)
+        # V100 dominates the GTX 1070 on every axis of the spec
+        assert volta.total <= pascal.total * 1.05
+
+    @given(
+        st.integers(min_value=0, max_value=10**8),
+        st.integers(min_value=1, max_value=10**7),
+    )
+    @settings(**SETTINGS)
+    def test_atomic_cost_monotone_in_ops(self, ops, targets):
+        t1 = atomic_cost(GTX1070, ops, targets)
+        t2 = atomic_cost(GTX1070, ops + 1000, targets)
+        assert t2 >= t1 >= 0.0
+
+    @given(
+        st.integers(min_value=1, max_value=10**7),
+        st.integers(min_value=1, max_value=10**6),
+    )
+    @settings(**SETTINGS)
+    def test_more_targets_never_more_contention(self, ops, targets):
+        sparse = atomic_cost(GTX1070, ops, targets * 2)
+        dense = atomic_cost(GTX1070, ops, targets)
+        assert sparse <= dense + 1e-15
+
+    @given(st.integers(min_value=0, max_value=10**10), st.integers(min_value=1, max_value=64))
+    @settings(**SETTINGS)
+    def test_transfer_monotone(self, nbytes, calls):
+        t1 = transfer_time(GTX1070, nbytes, calls=calls)
+        t2 = transfer_time(GTX1070, nbytes + 4096, calls=calls)
+        t3 = transfer_time(GTX1070, nbytes, calls=calls + 1)
+        assert t2 >= t1 and t3 >= t1
+
+    @given(stats_strategy())
+    @settings(**SETTINGS)
+    def test_cpu_cost_positive_and_monotone_in_misses(self, stats):
+        base = cpu_sweep_time(I7_7700HQ, stats, gather_bytes=8.0)
+        assert base >= 0 and np.isfinite(base)
+        more = SweepStats(
+            **{**stats.__dict__, "random_accesses": stats.random_accesses + 10_000}
+        )
+        assert cpu_sweep_time(I7_7700HQ, more, gather_bytes=8.0) >= base

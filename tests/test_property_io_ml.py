@@ -1,0 +1,146 @@
+"""Property-based tests on the I/O formats and ML substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import BeliefGraph
+from repro.core.potentials import attractive_potential
+from repro.io.mtx import read_mtx_graph, write_mtx_graph
+from repro.ml.metrics import accuracy_score, confusion_matrix, f1_score
+from repro.ml.model_selection import KFold, train_test_split
+from repro.ml.preprocessing import PCA, StandardScaler
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def small_graphs(draw):
+    n_nodes = draw(st.integers(min_value=2, max_value=12))
+    n_edges = draw(st.integers(min_value=1, max_value=20))
+    n_states = draw(st.integers(min_value=2, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n_nodes, size=(n_edges, 2))
+    priors = np.maximum(rng.dirichlet(np.ones(n_states), size=n_nodes), 1e-4)
+    priors /= priors.sum(axis=1, keepdims=True)
+    return BeliefGraph.from_undirected(
+        priors, edges, attractive_potential(n_states, 0.7)
+    )
+
+
+class TestMtxRoundtrip:
+    @given(small_graphs(), st.booleans())
+    @settings(**SETTINGS)
+    def test_lossless(self, graph, inline):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            d = Path(tmp)
+            write_mtx_graph(graph, d / "g.nodes", d / "g.edges", inline_shared=inline)
+            loaded = read_mtx_graph(d / "g.nodes", d / "g.edges")
+            self._check(graph, loaded)
+
+    @staticmethod
+    def _check(graph, loaded):
+        assert loaded.n_nodes == graph.n_nodes
+        assert loaded.n_edges == graph.n_edges
+        np.testing.assert_allclose(
+            loaded.priors.dense(), graph.priors.dense(), atol=1e-5
+        )
+        for e in range(graph.n_edges):
+            np.testing.assert_allclose(
+                loaded.potentials.matrix(e), graph.potentials.matrix(e), atol=1e-5
+            )
+
+
+class TestMetricProperties:
+    labels = st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=60)
+
+    @given(labels)
+    @settings(**SETTINGS)
+    def test_perfect_prediction_scores_one(self, y):
+        assert accuracy_score(y, y) == 1.0
+        if len(set(y)) <= 2:
+            assert f1_score(y, y) in (0.0, 1.0)  # 0.0 only if positives absent
+
+    @given(labels, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(**SETTINGS)
+    def test_f1_bounded_and_symmetric_in_shuffles(self, y, seed):
+        rng = np.random.default_rng(seed)
+        y = np.asarray(y)
+        pred = rng.permutation(y)
+        score = f1_score(y, pred)
+        assert 0.0 <= score <= 1.0
+
+    @given(labels, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(**SETTINGS)
+    def test_confusion_matrix_totals(self, y, seed):
+        rng = np.random.default_rng(seed)
+        y = np.asarray(y)
+        pred = rng.integers(0, 2, size=len(y))
+        cm = confusion_matrix(y, pred, labels=[0, 1])
+        assert cm.sum() == len(y)
+        assert (cm >= 0).all()
+
+
+class TestModelSelectionProperties:
+    @given(
+        st.integers(min_value=10, max_value=80),
+        st.floats(min_value=0.1, max_value=0.9),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(**SETTINGS)
+    def test_split_is_partition(self, n, test_size, seed):
+        X = np.arange(n).reshape(-1, 1)
+        y = np.arange(n) % 2
+        Xtr, Xte, ytr, yte = train_test_split(
+            X, y, test_size=test_size, random_state=seed
+        )
+        merged = np.sort(np.concatenate([Xtr, Xte]).reshape(-1))
+        np.testing.assert_array_equal(merged, np.arange(n))
+        assert len(ytr) + len(yte) == n
+
+    @given(
+        st.integers(min_value=6, max_value=50),
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(**SETTINGS)
+    def test_kfold_partition(self, n, k, seed):
+        folds = list(KFold(k, random_state=seed).split(np.arange(n)))
+        assert len(folds) == k
+        all_test = np.sort(np.concatenate([t for _, t in folds]))
+        np.testing.assert_array_equal(all_test, np.arange(n))
+
+
+class TestPreprocessingProperties:
+    matrices = st.integers(min_value=0, max_value=2**31 - 1)
+
+    @given(matrices)
+    @settings(**SETTINGS)
+    def test_scaler_inverse_identity(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(20, 4)) * rng.uniform(0.5, 4.0, size=4)
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(X)), X, atol=1e-9
+        )
+
+    @given(matrices)
+    @settings(**SETTINGS)
+    def test_pca_variance_ratios_sum_below_one(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(30, 5))
+        pca = PCA(3).fit(X)
+        ratios = pca.explained_variance_ratio_
+        assert (ratios >= -1e-12).all()
+        assert ratios.sum() <= 1.0 + 1e-9
+        # components are orthonormal
+        gram = pca.components_ @ pca.components_.T
+        np.testing.assert_allclose(gram, np.eye(3), atol=1e-8)

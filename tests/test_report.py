@@ -1,0 +1,42 @@
+"""The report aggregator."""
+
+import pytest
+
+from repro.report import collect_results, main, render_report
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "E01_table1.txt").write_text("table one\nrow\n")
+    (d / "E02_algo.txt").write_text("table two\n")
+    (d / "EXT_ablation.txt").write_text("extension table\n")
+    return d
+
+
+class TestReport:
+    def test_collect_sorted(self, results_dir):
+        results = collect_results(results_dir)
+        assert list(results) == ["E01_table1", "E02_algo", "EXT_ablation"]
+        assert results["E01_table1"] == "table one\nrow"
+
+    def test_render_groups_by_experiment(self, results_dir):
+        report = render_report(results_dir)
+        assert "## E01" in report
+        assert "## EXT" in report
+        assert "table one" in report
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            collect_results(tmp_path / "nope")
+
+    def test_main_writes_report(self, results_dir, tmp_path, capsys):
+        out = tmp_path / "REPORT.md"
+        assert main([str(results_dir), str(out)]) == 0
+        assert out.exists()
+        assert "experiment tables" in capsys.readouterr().out
+
+    def test_main_error_path(self, tmp_path, capsys):
+        assert main([str(tmp_path / "missing")]) == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,43 @@
+"""Operation accounting plumbing."""
+
+import pytest
+
+from repro.core.sweepstats import RunStats, SweepStats
+
+
+class TestSweepStats:
+    def test_addition_is_fieldwise(self):
+        a = SweepStats(nodes_processed=1, flops=10, atomic_ops=2, random_accesses=4)
+        b = SweepStats(nodes_processed=2, flops=5, sequential_bytes=100)
+        c = a + b
+        assert c.nodes_processed == 3
+        assert c.flops == 15
+        assert c.atomic_ops == 2
+        assert c.random_accesses == 4
+        assert c.sequential_bytes == 100
+        # operands untouched
+        assert a.flops == 10 and b.flops == 5
+
+    def test_iadd(self):
+        a = SweepStats(flops=1)
+        a += SweepStats(flops=2, queue_ops=7)
+        assert a.flops == 3 and a.queue_ops == 7
+
+    def test_total_bytes(self):
+        s = SweepStats(sequential_bytes=10, random_bytes=5)
+        assert s.total_bytes == 15
+
+
+class TestRunStats:
+    def test_total_aggregates(self):
+        rs = RunStats()
+        rs.append(SweepStats(flops=5, edges_processed=10))
+        rs.append(SweepStats(flops=7, edges_processed=20))
+        assert rs.iterations == 2
+        assert rs.total.flops == 12
+        assert rs.total.edges_processed == 30
+
+    def test_empty(self):
+        rs = RunStats()
+        assert rs.iterations == 0
+        assert rs.total.flops == 0

@@ -1,0 +1,97 @@
+"""The three evaluation use cases (paper §4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LoopyBP, observe
+from repro.usecases import USE_CASES
+from repro.usecases.binary import binary_use_case
+from repro.usecases.image import (
+    decode_image,
+    noisy_image_graph,
+    smoothness_potential,
+)
+from repro.usecases.virus import VirusModel, virus_use_case
+
+
+class TestCatalogue:
+    def test_belief_counts(self):
+        assert USE_CASES == {"binary": 2, "virus": 3, "image": 32}
+
+
+class TestBinary:
+    def test_priors_shape_and_normalization(self, rng):
+        priors, pot = binary_use_case(rng, 100)
+        assert priors.shape == (100, 2)
+        np.testing.assert_allclose(priors.sum(axis=1), 1.0, atol=1e-5)
+        assert pot.shape == (2, 2)
+
+    def test_believers_planted(self, rng):
+        priors, _ = binary_use_case(rng, 1000, believer_fraction=0.3)
+        confident = (priors[:, 1] > 0.8).mean()
+        assert 0.2 < confident < 0.4
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            binary_use_case(rng, 10, believer_fraction=1.5)
+
+
+class TestVirus:
+    def test_three_states(self, rng):
+        priors, pot = virus_use_case(rng, 50)
+        assert priors.shape == (50, 3) and pot.shape == (3, 3)
+        np.testing.assert_allclose(pot.sum(axis=1), 1.0, atol=1e-5)
+
+    def test_infection_spreads_to_neighbours(self):
+        """Observing a node infected raises neighbours' infection belief."""
+        from repro.core.graph import BeliefGraph
+
+        rng = np.random.default_rng(0)
+        priors, pot = virus_use_case(rng, 5, infected_fraction=0.0, recovered_fraction=0.0)
+        edges = np.array([[0, 1], [1, 2], [2, 3], [3, 4]])
+        g = BeliefGraph.from_undirected(priors, edges, pot)
+        base = LoopyBP().run(g.copy()).beliefs
+        g_obs = g.copy()
+        observe(g_obs, 2, 1)  # node 2 infected for certain
+        after = LoopyBP().run(g_obs).beliefs
+        assert after[1, 1] > base[1, 1]
+        assert after[3, 1] > base[3, 1]
+
+    def test_parameter_validation(self, rng):
+        with pytest.raises(ValueError):
+            virus_use_case(rng, 10, infected_fraction=0.8, recovered_fraction=0.5)
+        with pytest.raises(ValueError):
+            VirusModel(transmission=1.5).potential()
+
+
+class TestImage:
+    def test_smoothness_favours_close_levels(self):
+        pot = smoothness_potential(8, sigma=1.0)
+        assert pot[3, 3] > pot[3, 4] > pot[3, 6]
+        np.testing.assert_allclose(pot.sum(axis=1), 1.0, atol=1e-5)
+
+    def test_denoising_recovers_flat_regions(self):
+        clean = np.zeros((12, 12), dtype=np.int64)
+        clean[:, 6:] = 20  # two flat halves
+        graph, noisy = noisy_image_graph(clean, noise_sigma=2.5, seed=1)
+        assert graph.n_states == 32
+        result = LoopyBP().run(graph)
+        restored = decode_image(result.beliefs, clean.shape)
+        noisy_err = np.abs(noisy - clean).mean()
+        restored_err = np.abs(restored - clean).mean()
+        assert restored_err < noisy_err  # BP denoises
+
+    def test_rejects_out_of_range_pixels(self):
+        with pytest.raises(ValueError, match="levels"):
+            noisy_image_graph(np.full((4, 4), 99))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            noisy_image_graph(np.zeros(16, dtype=np.int64))
+
+    def test_overlay_for_arbitrary_topology(self, rng):
+        from repro.usecases.image import image_use_case
+
+        priors, pot = image_use_case(rng, 40)
+        assert priors.shape == (40, 32) and pot.shape == (32, 32)
+        np.testing.assert_allclose(priors.sum(axis=1), 1.0, atol=1e-4)

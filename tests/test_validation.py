@@ -1,0 +1,92 @@
+"""Failure-injection tests: malformed inputs must fail loudly."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import BeliefGraph
+from repro.core.potentials import SharedPotentialStore, attractive_potential
+
+
+class TestGraphValidation:
+    def test_nan_priors_rejected(self):
+        priors = np.array([[0.5, 0.5], [np.nan, 0.5]])
+        with pytest.raises(ValueError, match="NaN"):
+            BeliefGraph.from_undirected(
+                priors, np.array([[0, 1]]), attractive_potential(2, 0.8)
+            )
+
+    def test_infinite_priors_rejected(self):
+        priors = np.array([[0.5, 0.5], [np.inf, 0.5]])
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            BeliefGraph.from_undirected(
+                priors, np.array([[0, 1]]), attractive_potential(2, 0.8)
+            )
+
+    def test_negative_priors_rejected(self):
+        priors = np.array([[0.5, 0.5], [-0.1, 1.1]])
+        with pytest.raises(ValueError, match="non-negative"):
+            BeliefGraph.from_undirected(
+                priors, np.array([[0, 1]]), attractive_potential(2, 0.8)
+            )
+
+    def test_all_zero_prior_row_becomes_uniform(self):
+        priors = np.array([[0.0, 0.0], [0.3, 0.7]])
+        g = BeliefGraph.from_undirected(
+            priors, np.array([[0, 1]]), attractive_potential(2, 0.8)
+        )
+        np.testing.assert_allclose(g.priors.get(0), [0.5, 0.5])
+
+    def test_mismatched_src_dst(self):
+        with pytest.raises(ValueError, match="equal length"):
+            BeliefGraph(
+                np.full((2, 2), 0.5), np.array([0, 1]), np.array([1]),
+                attractive_potential(2, 0.8),
+            )
+
+    def test_potential_store_length_mismatch(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            BeliefGraph(
+                np.full((2, 2), 0.5), np.array([0]), np.array([1]),
+                SharedPotentialStore(attractive_potential(2, 0.8), 5),
+            )
+
+    def test_node_names_length_mismatch(self):
+        with pytest.raises(ValueError, match="node_names"):
+            BeliefGraph.from_undirected(
+                np.full((2, 2), 0.5), np.array([[0, 1]]),
+                attractive_potential(2, 0.8), node_names=["only-one"],
+            )
+
+
+class TestSuiteIteration:
+    def test_suite_graphs_yields_all_variants(self):
+        from repro.graphs.suite import suite_graphs
+
+        seen = list(
+            suite_graphs(
+                use_cases=("binary",),
+                subset=("10x40", "100x400"),
+                profile="smoke",
+            )
+        )
+        assert len(seen) == 2
+        for bench, use_case, graph, factor in seen:
+            assert use_case == "binary"
+            assert graph.n_nodes > 0
+            assert factor == 1.0
+
+
+class TestBeliefStoreEdgeCases:
+    def test_empty_store(self):
+        from repro.core.beliefs import make_store
+
+        store = make_store(np.array([], dtype=np.int64), "aos")
+        assert len(store) == 0
+        assert store.dense().shape[0] == 0
+
+    def test_single_state_node(self):
+        from repro.core.beliefs import make_store
+
+        store = make_store(np.array([1, 2]), "soa")
+        store.fill_uniform()
+        np.testing.assert_allclose(store.get(0), [1.0])

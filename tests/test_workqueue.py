@@ -1,0 +1,72 @@
+"""Work queues of unconverged elements (paper §3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.workqueue import WorkQueue
+
+
+class TestWorkQueue:
+    def test_starts_full(self):
+        q = WorkQueue(5, 0.1)
+        np.testing.assert_array_equal(q.active, np.arange(5))
+        assert len(q) == 5 and not q.empty
+
+    def test_repopulate_keeps_unconverged(self):
+        q = WorkQueue(4, 0.1)
+        q.repopulate(np.array([0.5, 0.01, 0.2, 0.05]))
+        np.testing.assert_array_equal(q.active, [0, 2])
+
+    def test_repopulate_clears_when_all_converged(self):
+        q = WorkQueue(3, 0.1)
+        q.repopulate(np.zeros(3))
+        assert q.empty
+
+    def test_neighbours_are_requeued(self):
+        q = WorkQueue(6, 0.1)
+        q.repopulate(np.array([0.5, 0, 0, 0, 0, 0]), neighbours_of_dirty=np.array([3, 4]))
+        np.testing.assert_array_equal(q.active, [0, 3, 4])
+
+    def test_neighbours_deduplicated(self):
+        q = WorkQueue(6, 0.1)
+        q.repopulate(
+            np.array([0.5, 0, 0, 0, 0, 0]),
+            neighbours_of_dirty=np.array([0, 0, 3, 3, 3]),
+        )
+        np.testing.assert_array_equal(q.active, [0, 3])
+
+    def test_delta_alignment_enforced(self):
+        q = WorkQueue(4, 0.1)
+        with pytest.raises(ValueError, match="align"):
+            q.repopulate(np.zeros(3))
+
+    def test_push_accounting(self):
+        q = WorkQueue(4, 0.1)
+        q.repopulate(np.array([0.5, 0.5, 0, 0]))
+        assert q.pushes == 2 and q.rounds == 1
+        q.repopulate(np.array([0.5, 0]))
+        assert q.pushes == 3 and q.rounds == 2
+
+    def test_reset(self):
+        q = WorkQueue(4, 0.1)
+        q.repopulate(np.zeros(4))
+        q.reset()
+        assert len(q) == 4 and q.pushes == 0
+
+    def test_shrinking_active_set(self):
+        """The §3.5 premise: most elements converge after a few rounds,
+        so the queue shrinks monotonically for decaying deltas."""
+        q = WorkQueue(100, 1e-3)
+        deltas = np.linspace(1.0, 0.0, 100)
+        sizes = []
+        for _ in range(5):
+            deltas = deltas[deltas >= q.element_threshold] * 0.3
+            pass_deltas = np.linspace(1.0, 0.0, len(q.active)) * (0.3 ** len(sizes))
+            q.repopulate(pass_deltas)
+            sizes.append(len(q))
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+    @pytest.mark.parametrize("n,thr", [(-1, 0.1), (3, 0.0), (3, -0.5)])
+    def test_validation(self, n, thr):
+        with pytest.raises(ValueError):
+            WorkQueue(n, thr)

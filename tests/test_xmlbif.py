@@ -1,0 +1,100 @@
+"""XML-BIF parsing and writing (paper §3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.io.bif import parse_bif
+from repro.io.xmlbif import XmlBifError, parse_xmlbif, write_xmlbif
+
+MINIMAL = """<?xml version="1.0"?>
+<BIF VERSION="0.3">
+<NETWORK>
+<NAME>mini</NAME>
+<VARIABLE TYPE="nature">
+  <NAME>rain</NAME>
+  <OUTCOME>yes</OUTCOME>
+  <OUTCOME>no</OUTCOME>
+</VARIABLE>
+<VARIABLE TYPE="nature">
+  <NAME>wet</NAME>
+  <OUTCOME>yes</OUTCOME>
+  <OUTCOME>no</OUTCOME>
+</VARIABLE>
+<DEFINITION>
+  <FOR>rain</FOR>
+  <TABLE>0.2 0.8</TABLE>
+</DEFINITION>
+<DEFINITION>
+  <FOR>wet</FOR>
+  <GIVEN>rain</GIVEN>
+  <TABLE>0.9 0.1 0.05 0.95</TABLE>
+</DEFINITION>
+</NETWORK>
+</BIF>
+"""
+
+
+class TestParse:
+    def test_minimal(self):
+        net = parse_xmlbif(MINIMAL)
+        assert net.name == "mini"
+        assert net.variables["rain"].states == ["yes", "no"]
+        np.testing.assert_allclose(net.cpts["wet"].table, [[0.9, 0.1], [0.05, 0.95]])
+
+    def test_network_root_accepted(self):
+        inner = MINIMAL.split("<BIF VERSION=\"0.3\">")[1].rsplit("</BIF>")[0]
+        net = parse_xmlbif(inner.strip())
+        assert net.name == "mini"
+
+    def test_malformed_xml(self):
+        with pytest.raises(XmlBifError, match="malformed XML"):
+            parse_xmlbif("<BIF><NETWORK>")
+
+    def test_wrong_root(self):
+        with pytest.raises(XmlBifError, match="expected"):
+            parse_xmlbif("<HTML></HTML>")
+
+    def test_table_size_mismatch(self):
+        bad = MINIMAL.replace("0.9 0.1 0.05 0.95", "0.9 0.1")
+        with pytest.raises(XmlBifError, match="holds 2 entries"):
+            parse_xmlbif(bad)
+
+    def test_non_numeric_table(self):
+        bad = MINIMAL.replace("0.2 0.8", "zero point two 0.8")
+        with pytest.raises(XmlBifError, match="non-numeric"):
+            parse_xmlbif(bad)
+
+    def test_undeclared_for(self):
+        bad = MINIMAL.replace("<FOR>rain</FOR>", "<FOR>ghost</FOR>", 1)
+        with pytest.raises(XmlBifError, match="undeclared"):
+            parse_xmlbif(bad)
+
+    def test_missing_outcomes(self):
+        bad = MINIMAL.replace("<OUTCOME>yes</OUTCOME>\n  <OUTCOME>no</OUTCOME>", "", 1)
+        with pytest.raises(XmlBifError, match="OUTCOME"):
+            parse_xmlbif(bad)
+
+
+class TestWriter:
+    def test_roundtrip(self):
+        net = parse_xmlbif(MINIMAL)
+        net2 = parse_xmlbif(write_xmlbif(net))
+        for name, cpt in net.cpts.items():
+            np.testing.assert_allclose(cpt.table, net2.cpts[name].table, atol=1e-5)
+
+    def test_cross_format_equivalence(self, family_out_bif):
+        """BIF -> XML-BIF -> parse gives the same network."""
+        net = parse_bif(family_out_bif)
+        net2 = parse_xmlbif(write_xmlbif(net))
+        assert list(net.variables) == list(net2.variables)
+        for name, cpt in net.cpts.items():
+            np.testing.assert_allclose(cpt.table, net2.cpts[name].table, atol=1e-5)
+
+    def test_file_output(self, tmp_path):
+        from repro.io.xmlbif import parse_xmlbif_file
+
+        net = parse_xmlbif(MINIMAL)
+        path = tmp_path / "net.xml"
+        write_xmlbif(net, path)
+        net2 = parse_xmlbif_file(path)
+        assert net2.name == "mini"
