@@ -1,12 +1,15 @@
 """Ablation — scheduling policies (DESIGN.md §6 extension).
 
-Compares the update-scheduling ladder around the paper's work queue:
+Compares the full update-scheduling ladder through the unified driver
+(``LoopyBP(schedule=...)``, one code path for every policy):
 
 1. full synchronous sweeps (no queue);
 2. the paper's FIFO unconverged-element queue (§3.5);
 3. max-residual priority scheduling (the Gonzalez et al. policy the
    paper's related-work section positions against);
-4. damping (a robustness knob the paper does not use).
+4. relaxed priority sampling (Aksenov et al.: near-max order with O(1)
+   contention-free queue operations);
+plus damping (a robustness knob the paper does not use).
 
 The quantity compared is *edge updates until convergence* — the
 hardware-independent measure of scheduling quality.
@@ -17,11 +20,18 @@ import pytest
 from harness import format_table, save_result
 from repro.core.convergence import ConvergenceCriterion
 from repro.core.loopy import LoopyBP
-from repro.core.residual import ResidualBP
+from repro.core.scheduler import SCHEDULES
 from repro.graphs.suite import build_graph
 
 GRAPHS = ["1kx4k", "GO", "K16"]
 _CRIT = ConvergenceCriterion(threshold=1e-3, max_iterations=200)
+
+_LABELS = {
+    "sync": "full sweeps",
+    "work_queue": "work queue (paper)",
+    "residual": "residual priority",
+    "relaxed": "relaxed priority",
+}
 
 
 @pytest.fixture(scope="module")
@@ -29,15 +39,13 @@ def scheduling_results():
     out = {}
     for abbrev in GRAPHS:
         graph, _ = build_graph(abbrev, "binary", profile="smoke")
-        sweeps = LoopyBP(paradigm="edge", work_queue=False, criterion=_CRIT).run(graph.copy())
-        queued = LoopyBP(paradigm="edge", work_queue=True, criterion=_CRIT).run(graph.copy())
-        residual = ResidualBP(criterion=_CRIT).run(graph.copy())
-        out[abbrev] = {
-            "full sweeps": sweeps.run_stats.total.edges_processed,
-            "work queue (paper)": queued.run_stats.total.edges_processed,
-            "residual priority": residual.updates,
-            "_converged": (sweeps.converged, queued.converged, residual.converged),
-        }
+        per_schedule = {}
+        for schedule in SCHEDULES:
+            result = LoopyBP(
+                paradigm="edge", schedule=schedule, criterion=_CRIT
+            ).run(graph.copy())
+            per_schedule[schedule] = result
+        out[abbrev] = per_schedule
     return out
 
 
@@ -45,26 +53,51 @@ def test_scheduling_ablation_table(scheduling_results):
     rows = []
     for abbrev, res in scheduling_results.items():
         rows.append(
-            (abbrev,
-             f"{res['full sweeps']:,}",
-             f"{res['work queue (paper)']:,}",
-             f"{res['residual priority']:,}")
+            (abbrev, *(f"{res[s].updates:,}" for s in SCHEDULES))
         )
     table = format_table(
-        ["graph", "full sweeps (edge updates)", "work queue", "residual priority"],
+        ["graph", *(f"{_LABELS[s]} (edge updates)" for s in SCHEDULES)],
         rows,
         title="Ablation: edge updates until convergence by scheduling policy",
     )
     save_result("EXT_scheduling_ablation", table)
     for res in scheduling_results.values():
-        assert all(res["_converged"])
+        assert all(r.converged for r in res.values())
         # the paper's queue beats blind sweeps ...
-        assert res["work queue (paper)"] <= res["full sweeps"]
+        assert res["work_queue"].updates <= res["sync"].updates
 
 
 def test_residual_beats_sweeps(scheduling_results):
     for res in scheduling_results.values():
-        assert res["residual priority"] < res["full sweeps"]
+        assert res["residual"].updates < res["sync"].updates
+
+
+def test_relaxed_tracks_residual(scheduling_results):
+    """Relaxed sampling approximates exact priority order: its update
+    count lands between residual and blind sweeps, and its O(1) queue
+    operations cost far fewer atomics than the residual heap."""
+    rows = []
+    for abbrev, res in scheduling_results.items():
+        relaxed, residual, sweeps = res["relaxed"], res["residual"], res["sync"]
+        rows.append(
+            (abbrev,
+             f"{relaxed.updates:,}",
+             f"{relaxed.updates / residual.updates:.2f}",
+             f"{relaxed.run_stats.total.atomic_ops:,}",
+             f"{residual.run_stats.total.atomic_ops:,}")
+        )
+        assert relaxed.updates < sweeps.updates
+        assert (
+            relaxed.run_stats.total.atomic_ops
+            < residual.run_stats.total.atomic_ops
+        )
+    table = format_table(
+        ["graph", "relaxed updates", "vs residual", "relaxed atomics",
+         "residual atomics"],
+        rows,
+        title="Ablation: relaxed priority — updates near residual, atomics far below",
+    )
+    save_result("EXT_relaxed_scheduling", table)
 
 
 def test_damping_ablation():
@@ -89,5 +122,8 @@ def test_damping_ablation():
 def test_benchmark_residual_scheduler(benchmark):
     graph, _ = build_graph("1kx4k", "binary", profile="smoke")
     benchmark.pedantic(
-        lambda: ResidualBP(criterion=_CRIT).run(graph.copy()), rounds=2, iterations=1
+        lambda: LoopyBP(
+            paradigm="edge", schedule="residual", criterion=_CRIT
+        ).run(graph.copy()),
+        rounds=2, iterations=1,
     )

@@ -78,7 +78,7 @@ def test_loopy_faster_than_tree_even_per_iteration():
     graph, _ = build_graph("1kx4k", "binary", profile="quick")
     one = ConvergenceCriterion(max_iterations=1)
     tree_t = _wall(lambda: TreeBP(criterion=one).run(graph.copy()))
-    edge_t = _wall(lambda: LoopyBP(paradigm="edge", criterion=one, work_queue=False).run(graph.copy()))
+    edge_t = _wall(lambda: LoopyBP(paradigm="edge", criterion=one, schedule="sync").run(graph.copy()))
     assert tree_t > 5 * edge_t
 
 

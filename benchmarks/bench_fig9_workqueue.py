@@ -52,8 +52,8 @@ def queue_speedups():
         graph, _ = build_graph(abbrev, "image", profile="smoke")
         for name, cls in BACKENDS.items():
             backend = cls()
-            with_q = backend.run(graph.copy(), work_queue=True, criterion=crit)
-            without_q = backend.run(graph.copy(), work_queue=False, criterion=crit)
+            with_q = backend.run(graph.copy(), schedule="work_queue", criterion=crit)
+            without_q = backend.run(graph.copy(), schedule="sync", criterion=crit)
             out[name].append(_kernel_time(without_q) / _kernel_time(with_q))
     return out
 
@@ -107,8 +107,8 @@ def test_queue_gains_grow_with_graph_size():
     rows = []
     gains = []
     for abbrev in ("K17", "GO", "1Mx4M"):
-        wq = estimate_backend_times(SUITE[abbrev], 32, model=model, work_queue=True)
-        nq = estimate_backend_times(SUITE[abbrev], 32, model=model, work_queue=False)
+        wq = estimate_backend_times(SUITE[abbrev], 32, model=model, schedule="work_queue")
+        nq = estimate_backend_times(SUITE[abbrev], 32, model=model, schedule="sync")
         gain = nq["c-node"] / wq["c-node"]
         gains.append((SUITE[abbrev].n_nodes, gain))
         rows.append((abbrev, f"{SUITE[abbrev].n_nodes:,}", f"{gain:.1f}x",
@@ -131,7 +131,7 @@ def test_benchmark_with_queue(benchmark):
     crit = ConvergenceCriterion(max_iterations=30)
     graph, _ = build_graph("10kx40k", "image", profile="probe")
     benchmark.pedantic(
-        lambda: CNodeBackend().run(graph.copy(), work_queue=True, criterion=crit),
+        lambda: CNodeBackend().run(graph.copy(), schedule="work_queue", criterion=crit),
         rounds=1, iterations=1,
     )
 
@@ -142,6 +142,6 @@ def test_benchmark_without_queue(benchmark):
     crit = ConvergenceCriterion(max_iterations=30)
     graph, _ = build_graph("10kx40k", "image", profile="probe")
     benchmark.pedantic(
-        lambda: CNodeBackend().run(graph.copy(), work_queue=False, criterion=crit),
+        lambda: CNodeBackend().run(graph.copy(), schedule="sync", criterion=crit),
         rounds=1, iterations=1,
     )

@@ -18,7 +18,6 @@ import numpy as np
 from repro.core.convergence import ConvergenceCriterion
 from repro.core.junction import JunctionTree, treewidth_upper_bound
 from repro.core.loopy import LoopyBP
-from repro.core.residual import ResidualBP
 from repro.graphs.grids import grid_graph
 
 
@@ -41,7 +40,7 @@ def main() -> None:
 
         sp = LoopyBP(update_rule="sum_product", criterion=crit).run(g.copy())
         bc = LoopyBP(update_rule="broadcast", criterion=crit).run(g.copy())
-        rs = ResidualBP(criterion=crit).run(g.copy())
+        rs = LoopyBP(paradigm="edge", schedule="residual", criterion=crit).run(g.copy())
         print(
             f"{coupling:8.2f} {tw:9d} "
             f"{np.abs(sp.beliefs - exact).max():12.2e} "

@@ -51,12 +51,12 @@ def main() -> None:
               f"{stats.atomic_ops:,} atomic transactions, "
               f"modeled {result.modeled_time * 1e3:.1f} ms")
 
-    print("\n=== Work-queue impact (§3.5) ===")
-    for work_queue in (False, True):
-        result = LoopyBP(paradigm="node", work_queue=work_queue).run(graph.copy())
+    print("\n=== Scheduling impact (§3.5 + extensions) ===")
+    for schedule in ("sync", "work_queue", "residual", "relaxed"):
+        result = LoopyBP(paradigm="node", schedule=schedule).run(graph.copy())
         processed = result.run_stats.total.nodes_processed
-        print(f"  queue {'on ' if work_queue else 'off'}: "
-              f"{processed:,} node updates over {result.iterations} iterations")
+        print(f"  {schedule:10s}: {processed:,} node updates "
+              f"over {result.iterations} iterations")
 
     result = LoopyBP().run(graph.copy())
     infected_p = result.beliefs[:, VIRUS_STATES.index("infected")]

@@ -61,16 +61,25 @@ class Backend:
     platform: str = "cpu"
     #: ``"node"``, ``"edge"`` or ``None`` (backend-chosen)
     paradigm: str | None = None
+    #: schedule used when ``run`` gets neither ``schedule`` nor the
+    #: deprecated ``work_queue``; registry variants like
+    #: ``"c-node:residual"`` override it per instance
+    default_schedule: str = "work_queue"
 
     def run(
         self,
         graph: BeliefGraph,
         *,
         criterion: ConvergenceCriterion | None = None,
-        work_queue: bool = True,
+        schedule: str | None = None,
+        work_queue: bool | None = None,
         update_rule: str = "sum_product",
     ) -> RunResult:
-        """Execute BP on ``graph`` (beliefs are updated in place)."""
+        """Execute BP on ``graph`` (beliefs are updated in place).
+
+        ``schedule`` is any name :func:`repro.core.scheduler.make_schedule`
+        accepts; ``work_queue`` is the deprecated boolean shim.
+        """
         raise NotImplementedError
 
     def supports(self, graph: BeliefGraph) -> bool:
@@ -82,14 +91,24 @@ class Backend:
         self,
         paradigm: str,
         criterion: ConvergenceCriterion | None,
-        work_queue: bool,
+        schedule: str | None,
         update_rule: str,
+        work_queue: bool | None = None,
     ) -> LoopyConfig:
+        crit = criterion or ConvergenceCriterion()
+        if work_queue is not None:
+            # legacy path: LoopyConfig owns the deprecation warning
+            return LoopyConfig(
+                paradigm=paradigm,
+                update_rule=update_rule,
+                criterion=crit,
+                work_queue=work_queue,
+            )
         return LoopyConfig(
             paradigm=paradigm,
             update_rule=update_rule,
-            criterion=criterion or ConvergenceCriterion(),
-            work_queue=work_queue,
+            criterion=crit,
+            schedule=schedule or self.default_schedule,
         )
 
     @staticmethod

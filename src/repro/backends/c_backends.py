@@ -34,11 +34,14 @@ class _CBackend(Backend):
         graph: BeliefGraph,
         *,
         criterion: ConvergenceCriterion | None = None,
-        work_queue: bool = True,
+        schedule: str | None = None,
+        work_queue: bool | None = None,
         update_rule: str = "sum_product",
     ) -> RunResult:
         assert self.paradigm is not None
-        config = self._loopy_config(self.paradigm, criterion, work_queue, update_rule)
+        config = self._loopy_config(
+            self.paradigm, criterion, schedule, update_rule, work_queue
+        )
         loopy, wall = self._timed(LoopyBP(config).run, graph)
         gather_bytes = 4.0 * graph.n_states
         lines = graph.beliefs.cache_lines_per_access()
@@ -52,7 +55,13 @@ class _CBackend(Backend):
             for sweep in loopy.run_stats.per_iteration
         )
         return self._result_from_loopy(
-            self.name, loopy, wall, modeled, cpu=self.cpu.name, layout=graph.layout
+            self.name,
+            loopy,
+            wall,
+            modeled,
+            cpu=self.cpu.name,
+            layout=graph.layout,
+            schedule=config.schedule,
         )
 
 

@@ -36,9 +36,11 @@ _FSIZE = 4
 _ISIZE = 8
 
 
-def _graph_device_bytes(graph: BeliefGraph, work_queue: bool) -> dict[str, int]:
+def _graph_device_bytes(graph: BeliefGraph, schedule: str = "work_queue") -> dict[str, int]:
     """Device buffers a BP run needs, named as a real implementation would
-    name its cudaMallocs."""
+    name its cudaMallocs.  The scheduling policy decides the bookkeeping
+    buffers: queues hold element indices; priority schedules additionally
+    keep a per-element residual key array."""
     n, m, b = graph.n_nodes, graph.n_edges, graph.n_states
     buffers = {
         "beliefs": n * b * _FSIZE,
@@ -53,9 +55,11 @@ def _graph_device_bytes(graph: BeliefGraph, work_queue: bool) -> dict[str, int]:
         "csr_out": (n + 1) * _ISIZE + m * _ISIZE,
         "delta_scratch": max(n, m) * _FSIZE,
     }
-    if work_queue:
+    if schedule != "sync":
         buffers["queue"] = max(n, m) * _ISIZE
         buffers["queue_next"] = max(n, m) * _ISIZE
+    if schedule in ("residual", "relaxed"):
+        buffers["priority"] = max(n, m) * _FSIZE
     if not graph.potentials.shared:
         buffers["potentials"] = graph.potentials.nbytes()
     return buffers
@@ -78,7 +82,8 @@ class _CudaBackend(Backend):
     def supports(self, graph: BeliefGraph) -> bool:
         if not graph.uniform:
             return False
-        total = sum(_graph_device_bytes(graph, work_queue=True).values())
+        # worst-case footprint: priority schedules carry the extra key array
+        total = sum(_graph_device_bytes(graph, schedule="residual").values())
         return total <= self.device_spec.vram_bytes
 
     def run(
@@ -86,12 +91,16 @@ class _CudaBackend(Backend):
         graph: BeliefGraph,
         *,
         criterion: ConvergenceCriterion | None = None,
-        work_queue: bool = True,
+        schedule: str | None = None,
+        work_queue: bool | None = None,
         update_rule: str = "sum_product",
     ) -> RunResult:
         assert self.paradigm is not None
+        config = self._loopy_config(
+            self.paradigm, criterion, schedule, update_rule, work_queue
+        )
         device = GpuDevice(self.device_spec)
-        buffers = _graph_device_bytes(graph, work_queue)
+        buffers = _graph_device_bytes(graph, config.schedule)
         try:
             for name, nbytes in buffers.items():
                 device.alloc(name, nbytes)
@@ -113,7 +122,6 @@ class _CudaBackend(Backend):
         upload = sum(buffers.values()) + graph.potentials.nbytes()
         device.h2d(upload, calls=len(buffers) + 1)
 
-        config = self._loopy_config(self.paradigm, criterion, work_queue, update_rule)
         loopy, wall = self._timed(LoopyBP(config).run, graph)
 
         belief_bytes = 4.0 * graph.n_states
@@ -137,6 +145,7 @@ class _CudaBackend(Backend):
             breakdown=device.breakdown,
             management_fraction=device.breakdown.management_fraction,
             kernel_count=device.kernel_count,
+            schedule=config.schedule,
         )
 
 

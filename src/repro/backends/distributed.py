@@ -123,10 +123,13 @@ class DistributedBackend(Backend):
         graph: BeliefGraph,
         *,
         criterion: ConvergenceCriterion | None = None,
-        work_queue: bool = True,
+        schedule: str | None = None,
+        work_queue: bool | None = None,
         update_rule: str = "sum_product",
     ) -> RunResult:
-        config = self._loopy_config(self.paradigm, criterion, work_queue, update_rule)
+        config = self._loopy_config(
+            self.paradigm, criterion, schedule, update_rule, work_queue
+        )
         loopy, wall = self._timed(LoopyBP(config).run, graph)
 
         cluster = self.cluster
@@ -163,4 +166,5 @@ class DistributedBackend(Backend):
             cluster=cluster.name,
             ranks=cluster.ranks,
             edge_cut_fraction=cut,
+            schedule=config.schedule,
         )

@@ -59,7 +59,7 @@ class OpenACCBackend(Backend):
     def supports(self, graph: BeliefGraph) -> bool:
         if not graph.uniform:
             return False
-        total = sum(_graph_device_bytes(graph, work_queue=False).values())
+        total = sum(_graph_device_bytes(graph, schedule="sync").values())
         return total <= self.device_spec.vram_bytes
 
     def run(
@@ -67,17 +67,18 @@ class OpenACCBackend(Backend):
         graph: BeliefGraph,
         *,
         criterion: ConvergenceCriterion | None = None,
-        work_queue: bool = True,  # ignored: OpenACC cannot express them (§3.5)
+        schedule: str | None = None,  # coerced to sync: queues need finer
+        work_queue: bool | None = None,  # grained control than OpenACC offers (§3.5)
         update_rule: str = "sum_product",
     ) -> RunResult:
         assert self.paradigm is not None
         crit = criterion or ConvergenceCriterion()
         # The imprecise reduction: harder effective threshold → more iters.
         acc_criterion = replace(crit, slack=_ACC_CONVERGENCE_SLACK)
-        config = self._loopy_config(self.paradigm, acc_criterion, False, update_rule)
+        config = self._loopy_config(self.paradigm, acc_criterion, "sync", update_rule)
 
         device = GpuDevice(self.device_spec)
-        buffers = _graph_device_bytes(graph, work_queue=False)
+        buffers = _graph_device_bytes(graph, schedule="sync")
         try:
             for name, nbytes in buffers.items():
                 device.alloc(name, nbytes)
@@ -114,4 +115,5 @@ class OpenACCBackend(Backend):
             device=self.device_spec.name,
             breakdown=device.breakdown,
             effective_threshold=acc_criterion.effective_threshold(),
+            schedule=config.schedule,
         )

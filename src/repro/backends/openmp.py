@@ -137,11 +137,16 @@ class OpenMPBackend(Backend):
         graph: BeliefGraph,
         *,
         criterion: ConvergenceCriterion | None = None,
-        work_queue: bool = True,
+        schedule: str | None = None,
+        work_queue: bool | None = None,
         update_rule: str = "sum_product",
     ) -> RunResult:
+        """``schedule`` here is the BP scheduling policy; the *OMP loop*
+        schedule (static/dynamic) is the constructor's ``schedule``."""
         assert self.paradigm is not None
-        config = self._loopy_config(self.paradigm, criterion, work_queue, update_rule)
+        config = self._loopy_config(
+            self.paradigm, criterion, schedule, update_rule, work_queue
+        )
         loopy, wall = self._timed(LoopyBP(config).run, graph)
         modeled = sum(
             self._parallel_sweep_time(graph, sweep)
@@ -153,6 +158,7 @@ class OpenMPBackend(Backend):
             wall,
             modeled,
             threads=self.threads,
-            schedule=self.schedule,
+            schedule=config.schedule,
+            omp_schedule=self.schedule,
             hyperthreading=self.hyperthreading,
         )

@@ -38,7 +38,8 @@ class ReferenceBackend(Backend):
         graph: BeliefGraph,
         *,
         criterion: ConvergenceCriterion | None = None,
-        work_queue: bool = True,  # accepted for interface parity; unused
+        schedule: str | None = None,  # accepted for interface parity; unused
+        work_queue: bool | None = None,  # deprecated shim; unused
         update_rule: str = "sum_product",
     ) -> RunResult:
         crit = criterion or ConvergenceCriterion()

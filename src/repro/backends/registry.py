@@ -3,6 +3,12 @@
 Credo's selector (paper §3.7) works in terms of these four names —
 ``c-node``, ``c-edge``, ``cuda-node``, ``cuda-edge`` — plus the auxiliary
 engines used in the preliminary §2.4 study.
+
+Names may carry a schedule qualifier, ``"<backend>:<schedule>"``
+(e.g. ``"c-node:residual"``, ``"cuda-edge:relaxed"``): the qualifier
+becomes the instance's default scheduling policy, so schedule-qualified
+variants drop into any code that holds plain backends.  The schedule set
+is :data:`repro.core.scheduler.SCHEDULES`.
 """
 
 from __future__ import annotations
@@ -16,8 +22,15 @@ from repro.backends.distributed import DistributedBackend
 from repro.backends.openacc import OpenACCBackend
 from repro.backends.openmp import OpenMPBackend
 from repro.backends.reference import ReferenceBackend
+from repro.core.scheduler import SCHEDULES, normalize_schedule
 
-__all__ = ["BACKENDS", "CORE_BACKENDS", "get_backend", "available_backends"]
+__all__ = [
+    "BACKENDS",
+    "CORE_BACKENDS",
+    "get_backend",
+    "available_backends",
+    "schedule_variants",
+]
 
 BACKENDS: dict[str, Callable[..., Backend]] = {
     "reference": ReferenceBackend,
@@ -37,16 +50,29 @@ CORE_BACKENDS = ("c-node", "c-edge", "cuda-node", "cuda-edge")
 def get_backend(name: str, **kwargs) -> Backend:
     """Instantiate a backend by registry name.
 
-    GPU backends accept ``device=`` (a name or
-    :class:`~repro.gpusim.arch.DeviceSpec`); ``openmp`` accepts
-    ``threads=``; see each class for the full signature.
+    ``name`` may be schedule-qualified (``"c-node:residual"``); the
+    qualifier sets the instance's ``default_schedule``.  GPU backends
+    accept ``device=`` (a name or :class:`~repro.gpusim.arch.DeviceSpec`);
+    ``openmp`` accepts ``threads=``; see each class for the full
+    signature.
     """
+    base_name, _, qualifier = name.partition(":")
     try:
-        factory = BACKENDS[name]
+        factory = BACKENDS[base_name]
     except KeyError:
-        raise KeyError(f"unknown backend {name!r}; known: {sorted(BACKENDS)}") from None
-    return factory(**kwargs)
+        raise KeyError(
+            f"unknown backend {base_name!r}; known: {sorted(BACKENDS)}"
+        ) from None
+    backend = factory(**kwargs)
+    if qualifier:
+        backend.default_schedule = normalize_schedule(qualifier)
+    return backend
 
 
 def available_backends() -> list[str]:
     return sorted(BACKENDS)
+
+
+def schedule_variants(names: tuple[str, ...] = CORE_BACKENDS) -> list[str]:
+    """The backend×schedule product as qualified registry names."""
+    return [f"{name}:{schedule}" for name in names for schedule in SCHEDULES]

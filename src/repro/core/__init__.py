@@ -13,9 +13,18 @@ from repro.core.graph import BeliefGraph
 from repro.core.observation import observe, clear_observations
 from repro.core.exact import exact_marginals
 from repro.core.tree_bp import TreeBP
-from repro.core.loopy import LoopyBP, LoopyConfig
+from repro.core.loopy import LoopyBP, LoopyConfig, LoopyResult
 from repro.core.convergence import belief_delta, ConvergenceCriterion
 from repro.core.workqueue import WorkQueue
+from repro.core.scheduler import (
+    SCHEDULES,
+    Schedule,
+    SynchronousSchedule,
+    WorkQueueSchedule,
+    ResidualSchedule,
+    RelaxedPrioritySchedule,
+    make_schedule,
+)
 from repro.core.residual import ResidualBP
 from repro.core.junction import JunctionTree, junction_tree_marginals
 from repro.core.bethe import bethe_free_energy, bethe_log_partition
@@ -34,9 +43,17 @@ __all__ = [
     "TreeBP",
     "LoopyBP",
     "LoopyConfig",
+    "LoopyResult",
     "belief_delta",
     "ConvergenceCriterion",
     "WorkQueue",
+    "SCHEDULES",
+    "Schedule",
+    "SynchronousSchedule",
+    "WorkQueueSchedule",
+    "ResidualSchedule",
+    "RelaxedPrioritySchedule",
+    "make_schedule",
     "ResidualBP",
     "JunctionTree",
     "junction_tree_marginals",

@@ -3,8 +3,15 @@
 :class:`LoopyBP` orchestrates the iteration loop: it compiles the graph
 into a :class:`~repro.core.state.LoopyState`, sweeps it with the per-node
 or per-edge kernel, evaluates the convergence criterion (sum of L1 belief
-changes, Algorithm 1 line 12) and maintains the optional work queue of
-unconverged elements (§3.5).
+changes, Algorithm 1 line 12) and drives a pluggable
+:class:`~repro.core.scheduler.Schedule` that decides which elements each
+sweep processes — full synchronous sweeps, the paper's §3.5 work queue,
+max-residual priority, or relaxed priority sampling.
+
+There is exactly **one** driver loop; the two processing paradigms (§3.3)
+differ only in the element space the schedule ranges over (nodes vs
+directed edges) and the sweep kernel, both captured by a small paradigm
+plan.
 
 Two update rules are available:
 
@@ -20,6 +27,7 @@ Two update rules are available:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -28,9 +36,9 @@ from repro.core.convergence import ConvergenceCriterion
 from repro.core.edge_kernel import edge_sweep
 from repro.core.graph import BeliefGraph
 from repro.core.node_kernel import node_sweep
+from repro.core.scheduler import SCHEDULES, make_schedule, normalize_schedule
 from repro.core.state import LoopyState
 from repro.core.sweepstats import RunStats, SweepStats
-from repro.core.workqueue import WorkQueue
 
 __all__ = ["LoopyConfig", "LoopyResult", "LoopyBP"]
 
@@ -40,20 +48,35 @@ class LoopyConfig:
     """Knobs of a loopy-BP run.
 
     ``paradigm`` selects per-node or per-edge processing (§3.3);
-    ``work_queue`` toggles the §3.5 optimization; ``edge_chunks`` controls
-    how much freshness the edge paradigm sees within one iteration;
-    ``damping`` mixes in the previous message (an extension, 0 disables);
-    ``semiring`` switches to max-product for MAP queries (extension).
+    ``schedule`` selects the update-scheduling policy (one of
+    :data:`~repro.core.scheduler.SCHEDULES` — ``"sync"``,
+    ``"work_queue"`` (the §3.5 optimization, default), ``"residual"`` or
+    ``"relaxed"``); ``edge_chunks`` controls how much freshness the edge
+    paradigm sees within one iteration; ``damping`` mixes in the previous
+    message (an extension, 0 disables); ``semiring`` switches to
+    max-product for MAP queries (extension).
+
+    ``batch_fraction``, ``relaxation`` and ``schedule_seed`` parameterize
+    the priority schedules; the others ignore them.
+
+    ``work_queue`` is a **deprecated** boolean shim: ``True`` maps to
+    ``schedule="work_queue"``, ``False`` to ``schedule="sync"`` (with a
+    :class:`DeprecationWarning`).  After normalization it is reset to
+    ``None``; read ``schedule`` instead.
     """
 
     paradigm: str = "node"
     update_rule: str = "sum_product"
     semiring: str = "sum"
     criterion: ConvergenceCriterion = field(default_factory=ConvergenceCriterion)
-    work_queue: bool = True
+    schedule: str = "work_queue"
+    work_queue: bool | None = None
     requeue_downstream: bool = True
     damping: float = 0.0
     edge_chunks: int = 8
+    batch_fraction: float = 0.5
+    relaxation: int = 2
+    schedule_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.paradigm not in ("node", "edge"):
@@ -66,11 +89,27 @@ class LoopyConfig:
             raise ValueError("damping must lie in [0, 1)")
         if self.edge_chunks < 1:
             raise ValueError("edge_chunks must be at least 1")
+        if not 0.0 < self.batch_fraction <= 1.0:
+            raise ValueError("batch_fraction must lie in (0, 1]")
+        if self.relaxation < 1:
+            raise ValueError("relaxation must be at least 1")
+        if self.work_queue is not None:
+            warnings.warn(
+                "LoopyConfig(work_queue=...) is deprecated; use "
+                "schedule='work_queue' / schedule='sync'",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            object.__setattr__(
+                self, "schedule", "work_queue" if self.work_queue else "sync"
+            )
+            object.__setattr__(self, "work_queue", None)
+        object.__setattr__(self, "schedule", normalize_schedule(self.schedule))
 
 
 @dataclass
 class LoopyResult:
-    """Outcome of a loopy-BP run."""
+    """Outcome of a loopy-BP run (any paradigm, any schedule)."""
 
     beliefs: np.ndarray
     iterations: int
@@ -84,6 +123,16 @@ class LoopyResult:
         """The last iteration's global L1 belief change."""
         return self.delta_history[-1] if self.delta_history else 0.0
 
+    @property
+    def updates(self) -> int:
+        """Total element updates across the run: message recomputations
+        for the edge paradigm, node recomputations for the node paradigm
+        — the hardware-independent measure of scheduling quality."""
+        total = self.run_stats.total
+        if self.config.paradigm == "edge":
+            return total.edges_processed
+        return total.nodes_processed
+
     def belief(self, node: int) -> np.ndarray:
         """Posterior belief vector of one node."""
         return self.beliefs[node]
@@ -93,10 +142,124 @@ class LoopyResult:
         return self.beliefs.argmax(axis=1)
 
 
+def _element_threshold_floor(n_states: int) -> float:
+    """Smallest per-element delta distinguishable from float32 noise.
+
+    Messages and beliefs are float32; a one-ulp limit cycle produces a
+    persistent L1 delta of up to ~``n_states`` ulps, so draining against
+    a threshold below that never terminates.  The *global* criterion is
+    not floored — only the schedules' per-element convergence check.
+    """
+    return float(np.finfo(np.float32).eps) * max(n_states, 2)
+
+
+@dataclass
+class _Step:
+    """One sweep's outcome, as the driver and schedule see it."""
+
+    deltas: np.ndarray
+    global_delta: float
+    downstream: np.ndarray | None
+    downstream_priority: np.ndarray | None
+    stats: SweepStats
+
+
+class _NodePlan:
+    """Per-node paradigm: elements are nodes, deltas are belief deltas."""
+
+    def __init__(self, state: LoopyState, cfg: LoopyConfig):
+        self.state = state
+        self.cfg = cfg
+        self.n_elements = state.n
+        # Per-element convergence threshold (§3.5): an element whose own
+        # delta is below the global threshold drops out of the schedule.
+        # This is the paper's semantics — "most nodes converge quickly
+        # after a few iterations" — and the source of the Fig. 9 wins;
+        # downstream re-enqueueing keeps the fixed point sound.
+        self.element_threshold = max(
+            cfg.criterion.effective_threshold(), _element_threshold_floor(state.b)
+        )
+
+    def sweep(self, active: np.ndarray, want_downstream: bool) -> _Step:
+        state, cfg = self.state, self.cfg
+        deltas, stats = node_sweep(
+            state,
+            active,
+            update_rule=cfg.update_rule,
+            semiring=cfg.semiring,
+            damping=cfg.damping,
+        )
+        downstream = downstream_priority = None
+        if want_downstream and len(active):
+            dirty_mask = deltas >= self.element_threshold
+            dirty = active[dirty_mask]
+            if len(dirty):
+                sizes = state.out_offsets[dirty + 1] - state.out_offsets[dirty]
+                downstream = state.dst[state.gather_out_edges(dirty)]
+                downstream_priority = np.repeat(deltas[dirty_mask], sizes)
+        return _Step(deltas, float(deltas.sum()), downstream, downstream_priority, stats)
+
+
+class _EdgePlan:
+    """Per-edge paradigm: elements are directed edges, deltas are message
+    deltas; the global criterion still reduces over node beliefs."""
+
+    def __init__(self, state: LoopyState, cfg: LoopyConfig):
+        self.state = state
+        self.cfg = cfg
+        self.n_elements = state.m
+        # An edge is converged when its message moves less than the node
+        # threshold split across the destination's in-edges: the combined
+        # per-node perturbation of fully-pruned edges then stays within
+        # the criterion.  (Belief deltas use the plain threshold; message
+        # deltas accumulate degree-fold into a belief.)
+        mean_in_degree = max(state.m / max(state.n, 1), 1.0)
+        self.node_threshold = cfg.criterion.effective_threshold()
+        self.element_threshold = max(
+            self.node_threshold / mean_in_degree, _element_threshold_floor(state.b)
+        )
+
+    def sweep(self, active: np.ndarray, want_downstream: bool) -> _Step:
+        state, cfg = self.state, self.cfg
+        # Snapshot the beliefs this sweep can change, for the global
+        # convergence reduction (Alg. 1 line 12).
+        if len(active):
+            cand_mask = np.zeros(state.n, dtype=bool)
+            cand_mask[state.dst[active]] = True
+            candidates = np.flatnonzero(cand_mask)
+        else:
+            candidates = np.empty(0, np.int64)
+        before = state.beliefs[candidates].copy()
+        edge_deltas, _touched, stats = edge_sweep(
+            state,
+            active,
+            update_rule=cfg.update_rule,
+            semiring=cfg.semiring,
+            damping=cfg.damping,
+            chunks=cfg.edge_chunks,
+        )
+        node_deltas = np.abs(state.beliefs[candidates] - before).sum(axis=1)
+        downstream = downstream_priority = None
+        if want_downstream and len(candidates):
+            changed_mask = node_deltas >= self.node_threshold
+            changed = candidates[changed_mask]
+            if len(changed):
+                sizes = state.out_offsets[changed + 1] - state.out_offsets[changed]
+                downstream = state.gather_out_edges(changed)
+                downstream_priority = np.repeat(node_deltas[changed_mask], sizes)
+        return _Step(
+            edge_deltas,
+            float(node_deltas.sum()),
+            downstream,
+            downstream_priority,
+            stats,
+        )
+
+
 class LoopyBP:
     """Loopy belief propagation runner.
 
-    >>> LoopyBP(paradigm="edge", work_queue=False).run(graph)   # doctest: +SKIP
+    >>> LoopyBP(paradigm="edge", schedule="residual").run(graph)  # doctest: +SKIP
     """
 
     def __init__(self, config: LoopyConfig | None = None, **overrides):
@@ -110,138 +273,50 @@ class LoopyBP:
         The graph's belief store is updated in place with the final
         posteriors; the result additionally carries a dense copy.
         """
-        cfg = self.config
         state = state or LoopyState(graph)
-        if cfg.paradigm == "node":
-            result = self._run_node(state)
-        else:
-            result = self._run_edge(state)
+        result = self._run(state)
         state.export_beliefs()
         return result
 
     # ------------------------------------------------------------------
-    def _run_node(self, state: LoopyState) -> LoopyResult:
+    def _run(self, state: LoopyState) -> LoopyResult:
+        """The single driver loop, parameterized by (paradigm, schedule)."""
         cfg = self.config
         crit = cfg.criterion
-        n = state.n
+        plan = _NodePlan(state, cfg) if cfg.paradigm == "node" else _EdgePlan(state, cfg)
+        schedule = make_schedule(
+            cfg.schedule,
+            plan.n_elements,
+            plan.element_threshold,
+            batch_fraction=cfg.batch_fraction,
+            relaxation=cfg.relaxation,
+            seed=cfg.schedule_seed,
+        )
+        want_downstream = cfg.requeue_downstream and schedule.wants_downstream
+
         run_stats = RunStats()
         history: list[float] = []
         converged = False
-        # Per-element convergence threshold (§3.5): an element whose own
-        # delta is below the global threshold drops out of the queue.
-        # This is the paper's semantics — "most nodes converge quickly
-        # after a few iterations" — and the source of the Fig. 9 wins;
-        # downstream re-enqueueing keeps the fixed point sound.
-        queue = (
-            WorkQueue(n, crit.effective_threshold()) if cfg.work_queue else None
-        )
-        all_nodes = np.arange(n, dtype=np.int64)
-
         iteration = 0
         while iteration < crit.max_iterations:
             iteration += 1
-            active = queue.active if queue is not None else all_nodes
-            deltas, stats = node_sweep(
-                state,
-                active,
-                update_rule=cfg.update_rule,
-                semiring=cfg.semiring,
-                damping=cfg.damping,
+            active = schedule.active
+            step = plan.sweep(active, want_downstream)
+            history.append(step.global_delta)
+            schedule.update(
+                active, step.deltas, step.downstream, step.downstream_priority
             )
-            global_delta = float(deltas.sum())
-            history.append(global_delta)
-            if queue is not None:
-                dirty = active[deltas >= queue.element_threshold]
-                downstream = None
-                if cfg.requeue_downstream and len(dirty):
-                    downstream = state.dst[state.gather_out_edges(dirty)]
-                queue.repopulate(deltas, downstream)
-                stats.queue_ops = len(active) + len(queue)
-                stats.atomic_ops += len(queue)  # atomic queue pushes (§3.5)
-            run_stats.append(stats)
-            if crit.is_converged(global_delta) or (queue is not None and queue.empty):
-                # an empty queue means every element individually passed
-                # its convergence check (§3.5) — the queue-driven runs
-                # terminate converged even when the raw global sum of the
-                # final sweep sat above the threshold
-                converged = crit.is_converged(global_delta) or (
-                    queue is not None and queue.empty
-                )
-                break
-
-        return LoopyResult(
-            beliefs=state.beliefs.copy(),
-            iterations=iteration,
-            converged=converged,
-            delta_history=history,
-            run_stats=run_stats,
-            config=cfg,
-        )
-
-    # ------------------------------------------------------------------
-    def _run_edge(self, state: LoopyState) -> LoopyResult:
-        cfg = self.config
-        crit = cfg.criterion
-        m = state.m
-        run_stats = RunStats()
-        history: list[float] = []
-        converged = False
-        # An edge is converged when its message moves less than the node
-        # threshold split across the destination's in-edges: the combined
-        # per-node perturbation of fully-pruned edges then stays within
-        # the criterion.  (Belief deltas use the plain threshold; message
-        # deltas accumulate degree-fold into a belief.)
-        mean_in_degree = max(m / max(state.n, 1), 1.0)
-        queue = (
-            WorkQueue(m, crit.effective_threshold() / mean_in_degree)
-            if cfg.work_queue
-            else None
-        )
-        all_edges = np.arange(m, dtype=np.int64)
-        node_threshold = crit.effective_threshold()
-
-        iteration = 0
-        while iteration < crit.max_iterations:
-            iteration += 1
-            active = queue.active if queue is not None else all_edges
-            # Snapshot the beliefs this sweep can change, for the global
-            # convergence reduction (Alg. 1 line 12).
-            if len(active):
-                cand_mask = np.zeros(state.n, dtype=bool)
-                cand_mask[state.dst[active]] = True
-                candidates = np.flatnonzero(cand_mask)
-            else:
-                candidates = np.empty(0, np.int64)
-            before = state.beliefs[candidates].copy()
-            edge_deltas, touched, stats = edge_sweep(
-                state,
-                active,
-                update_rule=cfg.update_rule,
-                semiring=cfg.semiring,
-                damping=cfg.damping,
-                chunks=cfg.edge_chunks,
-            )
-            node_deltas = np.abs(state.beliefs[candidates] - before).sum(axis=1)
-            global_delta = float(node_deltas.sum())
-            history.append(global_delta)
-            if queue is not None:
-                downstream = None
-                if cfg.requeue_downstream:
-                    changed = candidates[node_deltas >= node_threshold]
-                    if len(changed):
-                        downstream = state.gather_out_edges(changed)
-                queue.repopulate(edge_deltas, downstream)
-                stats.queue_ops = len(active) + len(queue)
-                stats.atomic_ops += len(queue)
-            run_stats.append(stats)
-            if crit.is_converged(global_delta) or (queue is not None and queue.empty):
-                # an empty queue means every element individually passed
-                # its convergence check (§3.5) — the queue-driven runs
-                # terminate converged even when the raw global sum of the
-                # final sweep sat above the threshold
-                converged = crit.is_converged(global_delta) or (
-                    queue is not None and queue.empty
-                )
+            schedule.charge(step.stats)
+            run_stats.append(step.stats)
+            # A drained schedule means every element individually passed
+            # its per-element convergence check (§3.5); exhaustive
+            # schedules may also stop on the global sum criterion (their
+            # sweep covers every unconverged element, so the partial sum
+            # *is* the global delta).
+            if (
+                schedule.exhaustive and crit.is_converged(step.global_delta)
+            ) or schedule.drained:
+                converged = True
                 break
 
         return LoopyResult(

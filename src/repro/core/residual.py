@@ -1,119 +1,43 @@
-"""Residual-priority BP scheduling (extension; DESIGN.md §6).
+"""Residual-priority BP (extension; DESIGN.md §6) — compatibility shim.
 
-The paper's work queue (§3.5) is FIFO over unconverged elements; the
-residual-splash literature it builds on (Gonzalez et al. 2009, cited as
-[5]/[7]) instead always processes the element with the **largest
-residual** — the message whose update would change the most.  This
-module implements residual scheduling for the edge paradigm so the
-ablation benchmark can compare the paper's queue against the stronger
-scheduler it approximates.
-
-The implementation keeps a lazy max-heap of (−residual, edge) entries;
-stale entries are skipped on pop (the standard lazy-deletion trick),
-and each processed edge updates its destination belief immediately
-(fully asynchronous BP).
+Residual scheduling used to live here as a standalone driver with its own
+result type.  It is now one strategy of the pluggable scheduling layer
+(:mod:`repro.core.scheduler`), run by the unified
+:class:`~repro.core.loopy.LoopyBP` driver: ``ResidualBP`` below is a thin
+alias over ``LoopyBP(paradigm="edge", schedule="residual")`` kept for
+callers of the old entry point.  Results are plain
+:class:`~repro.core.loopy.LoopyResult` objects (which carry the old
+``updates`` counter as a property); ``ResidualResult`` no longer exists.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
-
-import numpy as np
 
 from repro.core.convergence import ConvergenceCriterion
 from repro.core.graph import BeliefGraph
-from repro.core.state import LoopyState
-from repro.core.sweepstats import RunStats, SweepStats
+from repro.core.loopy import LoopyBP, LoopyResult
 
-__all__ = ["ResidualBP", "ResidualResult"]
-
-
-@dataclass
-class ResidualResult:
-    beliefs: np.ndarray
-    updates: int
-    converged: bool
-    run_stats: RunStats
-
-    @property
-    def iterations(self) -> int:
-        """Equivalent full-graph sweeps (updates / edges)."""
-        return max(1, self.run_stats.iterations)
+__all__ = ["ResidualBP"]
 
 
 @dataclass
 class ResidualBP:
-    """Asynchronous max-residual edge scheduling.
+    """Max-residual edge scheduling (alias over the unified driver).
 
-    ``criterion.max_iterations`` bounds the equivalent number of full
-    sweeps; convergence is declared when the largest residual falls
-    below ``threshold / n_edges`` (so the global L1 criterion of
-    Algorithm 1 is implied).
+    Prefer ``LoopyBP(schedule="residual")`` directly; this class survives
+    so existing callers keep working.
     """
 
     criterion: ConvergenceCriterion = field(default_factory=ConvergenceCriterion)
     damping: float = 0.0
+    batch_fraction: float = 0.5
 
-    def run(self, graph: BeliefGraph) -> ResidualResult:
-        state = LoopyState(graph)
-        m = state.m
-        if m == 0:
-            return ResidualResult(state.beliefs.copy(), 0, True, RunStats())
-        threshold = self.criterion.effective_threshold() / m
-        max_updates = self.criterion.max_iterations * m
-
-        # initial residuals: one synchronous message computation
-        msgs = state.cavity_messages()
-        residuals = np.abs(msgs - state.messages).sum(axis=1)
-        heap: list[tuple[float, int]] = [
-            (-float(residuals[e]), e) for e in range(m) if residuals[e] >= threshold
-        ]
-        heapq.heapify(heap)
-        current = residuals.copy()
-
-        run_stats = RunStats()
-        stats = SweepStats()
-        updates = 0
-        converged = False
-        while heap:
-            neg_res, e = heapq.heappop(heap)
-            if -neg_res < current[e] - 1e-12:  # stale entry
-                continue
-            if current[e] < threshold:
-                continue
-            if updates >= max_updates:
-                break
-            updates += 1
-            edge_ids = np.array([e], dtype=np.int64)
-            new_msg = state.cavity_messages(edge_ids)
-            if self.damping > 0.0:
-                new_msg = (1 - self.damping) * new_msg + self.damping * state.messages[edge_ids]
-            state.store_messages(edge_ids, new_msg)
-            current[e] = 0.0
-            v = int(state.dst[e])
-            if state.free_mask[v]:
-                state.beliefs[v] = state.combine_nodes(np.array([v]))[0]
-            # out-edges of v gain residual: recompute lazily
-            out = state.gather_out_edges(np.array([v]))
-            if len(out):
-                fresh = state.cavity_messages(out)
-                res = np.abs(fresh - state.messages[out]).sum(axis=1)
-                for idx, edge in zip(res, out):
-                    if idx > current[edge]:
-                        current[edge] = float(idx)
-                        heapq.heappush(heap, (-float(idx), int(edge)))
-            stats.edges_processed += 1 + len(out)
-            stats.nodes_processed += 1
-            stats.flops += (1 + len(out)) * (2 * state.b**2 + 2 * state.b)
-            if updates % m == 0:
-                run_stats.append(stats)
-                stats = SweepStats()
-        else:
-            converged = True
-        if stats.edges_processed:
-            run_stats.append(stats)
-        if not heap:
-            converged = True
-        state.export_beliefs()
-        return ResidualResult(state.beliefs.copy(), updates, converged, run_stats)
+    def run(self, graph: BeliefGraph) -> LoopyResult:
+        return LoopyBP(
+            paradigm="edge",
+            schedule="residual",
+            criterion=self.criterion,
+            damping=self.damping,
+            batch_fraction=self.batch_fraction,
+        ).run(graph)

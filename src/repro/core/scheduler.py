@@ -1,0 +1,337 @@
+"""Pluggable update-scheduling strategies for loopy BP.
+
+The paper's §3.5 work queue is one point in a larger scheduling design
+space.  This module abstracts "which elements does the next sweep
+process, and when does the run stop" behind a :class:`Schedule` object so
+that the single driver loop in :class:`~repro.core.loopy.LoopyBP` can run
+any policy, with any paradigm, through any backend:
+
+``"sync"``
+    Full synchronous sweeps — every element, every iteration
+    (Algorithm 1 without the §3.5 refinement).
+
+``"work_queue"``
+    The paper's §3.5 queue of unconverged elements: after each sweep the
+    queue "clears itself and populates atomically with the indices of
+    elements which have yet to converge", plus the downstream
+    re-enqueueing refinement that keeps the fixed point sound.
+
+``"residual"``
+    Max-residual priority scheduling (Gonzalez et al.; Van der Merwe et
+    al., *Message Scheduling for Performant, Many-Core Belief
+    Propagation*): each round processes the batch of elements with the
+    largest residuals.  Exact priority order costs heap maintenance —
+    O(log n) atomic-visible operations per push — which the cost models
+    price via :meth:`Schedule.charge`.
+
+``"relaxed"``
+    Relaxed concurrent priority scheduling (Aksenov et al., *Relaxed
+    Scheduling for Scalable Belief Propagation*): instead of the exact
+    max, each batch slot samples ``relaxation`` candidate elements and
+    takes the best — the MultiQueue-style "power of k choices" that
+    trades strict priority order for O(1) contention-free queue
+    operations.  Statistically near-max, massively parallelizable.
+
+Every schedule is a small amount of state over a flat priority/activity
+view of the elements (nodes for the per-node paradigm, directed edges
+for the per-edge paradigm); the numerical kernels never change.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.sweepstats import SweepStats
+from repro.core.workqueue import WorkQueue
+
+__all__ = [
+    "SCHEDULES",
+    "Schedule",
+    "SynchronousSchedule",
+    "WorkQueueSchedule",
+    "ResidualSchedule",
+    "RelaxedPrioritySchedule",
+    "make_schedule",
+    "normalize_schedule",
+]
+
+#: the canonical schedule names, in ablation-ladder order
+SCHEDULES = ("sync", "work_queue", "residual", "relaxed")
+
+_ALIASES = {
+    "synchronous": "sync",
+    "full": "sync",
+    "fifo": "work_queue",
+    "queue": "work_queue",
+    "workqueue": "work_queue",
+    "residual_priority": "residual",
+    "priority": "residual",
+    "splash": "residual",
+    "relaxed_priority": "relaxed",
+    "multiqueue": "relaxed",
+}
+
+
+def normalize_schedule(name: str) -> str:
+    """Canonical schedule name, accepting common aliases."""
+    canonical = _ALIASES.get(name, name)
+    if canonical not in SCHEDULES:
+        raise ValueError(f"unknown schedule {name!r}; known: {list(SCHEDULES)}")
+    return canonical
+
+
+class Schedule:
+    """Which elements the next sweep processes, and when the run drains.
+
+    A schedule is bound to ``n_elements`` flat element indices (nodes or
+    directed edges) and the per-element convergence threshold the driver
+    derives from the global criterion.  Each driver round:
+
+    1. reads :attr:`active` — the element batch to sweep;
+    2. sweeps it (kernels are schedule-agnostic);
+    3. calls :meth:`update` with the observed per-element deltas and the
+       downstream elements whose inputs changed;
+    4. calls :meth:`charge` so the schedule's bookkeeping cost (queue
+       pushes, heap maintenance, sampling) lands in the sweep's
+       :class:`~repro.core.sweepstats.SweepStats` and is priced by the
+       CPU/GPU cost models.
+    """
+
+    name: str = "abstract"
+    #: does the driver need to compute downstream re-activation sets?
+    wants_downstream: bool = True
+    #: does :attr:`active` cover *every* still-unconverged element each
+    #: round?  Exhaustive schedules may also terminate on the global sum
+    #: criterion; partial-batch schedules must drain instead (their batch
+    #: sum understates the global delta).
+    exhaustive: bool = True
+
+    def __init__(self, n_elements: int, element_threshold: float):
+        if n_elements < 0:
+            raise ValueError("n_elements must be non-negative")
+        if element_threshold <= 0:
+            raise ValueError("element_threshold must be positive")
+        self.n_elements = n_elements
+        self.element_threshold = float(element_threshold)
+
+    @property
+    def active(self) -> np.ndarray:
+        """Element indices to process this round (int64)."""
+        raise NotImplementedError
+
+    def update(
+        self,
+        processed: np.ndarray,
+        deltas: np.ndarray,
+        downstream: np.ndarray | None = None,
+        downstream_priority: np.ndarray | None = None,
+    ) -> None:
+        """Feed back one sweep's per-element deltas.
+
+        ``downstream`` (optional, duplicates allowed) lists elements whose
+        inputs changed; ``downstream_priority`` aligns with it and carries
+        the size of the upstream change (a residual lower bound).
+        """
+
+    @property
+    def drained(self) -> bool:
+        """True when every element individually passed its convergence
+        check — the §3.5 termination condition."""
+        return False
+
+    def charge(self, stats: SweepStats) -> None:
+        """Account this round's scheduling overhead into ``stats``."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} n={self.n_elements}>"
+
+
+class SynchronousSchedule(Schedule):
+    """Full sweeps: every element, every round, no queue bookkeeping."""
+
+    name = "sync"
+    wants_downstream = False
+
+    def __init__(self, n_elements: int, element_threshold: float):
+        super().__init__(n_elements, element_threshold)
+        self._all = np.arange(n_elements, dtype=np.int64)
+
+    @property
+    def active(self) -> np.ndarray:
+        return self._all
+
+
+class WorkQueueSchedule(Schedule):
+    """The paper's §3.5 FIFO queue of unconverged elements."""
+
+    name = "work_queue"
+
+    def __init__(self, n_elements: int, element_threshold: float):
+        super().__init__(n_elements, element_threshold)
+        self.queue = WorkQueue(n_elements, element_threshold)
+        self._last_processed = n_elements
+
+    @property
+    def active(self) -> np.ndarray:
+        return self.queue.active
+
+    def update(self, processed, deltas, downstream=None, downstream_priority=None):
+        self._last_processed = len(processed)
+        self.queue.repopulate(deltas, downstream)
+
+    @property
+    def drained(self) -> bool:
+        return self.queue.empty
+
+    def charge(self, stats: SweepStats) -> None:
+        # clear + atomic pushes (§3.5): one compare-and-push per survivor
+        stats.queue_ops += self._last_processed + len(self.queue)
+        stats.atomic_ops += len(self.queue)
+
+
+class ResidualSchedule(Schedule):
+    """Lazy max-priority scheduling over per-element residuals.
+
+    Keeps a dense priority array (the batch-parallel equivalent of the
+    lazy max-heap: stale entries are overwritten rather than popped) and
+    each round processes the top ``batch_fraction`` of the eligible
+    elements.  Unprocessed elements start at ``+inf`` so the first rounds
+    establish true residuals.
+    """
+
+    name = "residual"
+    exhaustive = False
+
+    def __init__(
+        self,
+        n_elements: int,
+        element_threshold: float,
+        *,
+        batch_fraction: float = 0.5,
+    ):
+        super().__init__(n_elements, element_threshold)
+        if not 0.0 < batch_fraction <= 1.0:
+            raise ValueError("batch_fraction must lie in (0, 1]")
+        self.batch_fraction = float(batch_fraction)
+        self.priority = np.full(n_elements, np.inf)
+        self._last_processed = 0
+        self._last_pushes = 0
+
+    # -- selection -----------------------------------------------------
+    def _eligible(self) -> np.ndarray:
+        return np.flatnonzero(self.priority >= self.element_threshold)
+
+    def _batch_size(self, n_eligible: int) -> int:
+        return max(1, int(math.ceil(self.batch_fraction * n_eligible)))
+
+    @property
+    def active(self) -> np.ndarray:
+        eligible = self._eligible()
+        k = len(eligible)
+        batch = self._batch_size(k)
+        if k == 0 or batch >= k:
+            return eligible
+        order = np.argpartition(self.priority[eligible], k - batch)[k - batch:]
+        return np.sort(eligible[order])
+
+    # -- feedback ------------------------------------------------------
+    def update(self, processed, deltas, downstream=None, downstream_priority=None):
+        self._last_processed = len(processed)
+        if len(processed):
+            self.priority[processed] = deltas
+        pushes = int(np.count_nonzero(deltas >= self.element_threshold))
+        if downstream is not None and len(downstream):
+            if downstream_priority is None:
+                raise ValueError("downstream elements need priorities")
+            # lazy-heap insert: keep the larger of the stale and new keys
+            np.maximum.at(self.priority, downstream, downstream_priority)
+            pushes += len(downstream)
+        self._last_pushes = pushes
+
+    @property
+    def drained(self) -> bool:
+        return not bool(np.any(self.priority >= self.element_threshold))
+
+    def charge(self, stats: SweepStats) -> None:
+        # exact priority order: every push pays O(log n) heap levels, each
+        # an atomic-visible compare-exchange — the contention the relaxed
+        # literature (Aksenov et al.) removes
+        depth = max(1, int(math.ceil(math.log2(max(self.n_elements, 2)))))
+        stats.queue_ops += self._last_processed + self._last_pushes
+        stats.atomic_ops += self._last_pushes * depth
+
+
+class RelaxedPrioritySchedule(ResidualSchedule):
+    """k-way relaxed priority sampling (Aksenov et al., MultiQueue-style).
+
+    Selection draws ``relaxation`` uniform candidates per batch slot and
+    keeps the best one, approximating max-priority order while every
+    queue operation stays O(1) and contention-free.  The run is
+    deterministic given ``seed``.
+    """
+
+    name = "relaxed"
+
+    def __init__(
+        self,
+        n_elements: int,
+        element_threshold: float,
+        *,
+        batch_fraction: float = 0.5,
+        relaxation: int = 2,
+        seed: int = 0,
+    ):
+        super().__init__(n_elements, element_threshold, batch_fraction=batch_fraction)
+        if relaxation < 1:
+            raise ValueError("relaxation must be at least 1")
+        self.relaxation = int(relaxation)
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def active(self) -> np.ndarray:
+        eligible = self._eligible()
+        k = len(eligible)
+        batch = self._batch_size(k)
+        if k == 0 or batch >= k:
+            return eligible
+        # power of `relaxation` choices: per slot, the best of c samples
+        candidates = self._rng.integers(0, k, size=(batch, self.relaxation))
+        keys = self.priority[eligible[candidates]]
+        picked = candidates[np.arange(batch), keys.argmax(axis=1)]
+        return np.unique(eligible[picked])
+
+    def charge(self, stats: SweepStats) -> None:
+        # relaxed queues: O(1) per push, no serialized heap root — each
+        # push is a single atomic to one of many independent queues
+        stats.queue_ops += self._last_processed + self._last_pushes
+        stats.atomic_ops += self._last_pushes
+
+
+def make_schedule(
+    name: str,
+    n_elements: int,
+    element_threshold: float,
+    *,
+    batch_fraction: float = 0.5,
+    relaxation: int = 2,
+    seed: int = 0,
+) -> Schedule:
+    """Instantiate a schedule by canonical (or aliased) name."""
+    canonical = normalize_schedule(name)
+    if canonical == "sync":
+        return SynchronousSchedule(n_elements, element_threshold)
+    if canonical == "work_queue":
+        return WorkQueueSchedule(n_elements, element_threshold)
+    if canonical == "residual":
+        return ResidualSchedule(
+            n_elements, element_threshold, batch_fraction=batch_fraction
+        )
+    return RelaxedPrioritySchedule(
+        n_elements,
+        element_threshold,
+        batch_fraction=batch_fraction,
+        relaxation=relaxation,
+        seed=seed,
+    )

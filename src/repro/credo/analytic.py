@@ -181,16 +181,37 @@ def _device_buffer_bytes(n: int, m_directed: int, b: int) -> dict[str, int]:
     }
 
 
+#: equivalent-full-sweep multipliers vs the §3.5 queue, calibrated from
+#: the scheduling ablation: residual ordering skips more near-converged
+#: work than FIFO; relaxed sampling gives most of that back in exchange
+#: for O(1) queue operations
+_SCHEDULE_ACTIVITY_FACTOR = {
+    "work_queue": 1.0,
+    "residual": 0.8,
+    "relaxed": 0.85,
+}
+
+
+def _resolve_schedule(schedule: str | None, work_queue: bool) -> str:
+    if schedule is not None:
+        from repro.core.scheduler import normalize_schedule
+
+        return normalize_schedule(schedule)
+    return "work_queue" if work_queue else "sync"
+
+
 def _activity(
-    model: IterationModel, n: int, paradigm: str, work_queue: bool
+    model: IterationModel, n: int, paradigm: str, schedule: str
 ) -> tuple[float, int]:
     """(equivalent full sweeps, iteration count) at scale ``n``."""
-    iterations = model.iterations_at_scale(n, paradigm, work_queue=work_queue)
-    if work_queue:
+    queued = schedule != "sync"
+    iterations = model.iterations_at_scale(n, paradigm, work_queue=queued)
+    if queued:
         activity = (
             model.node_queue_activity if paradigm == "node"
             else model.edge_queue_activity
         )
+        activity *= _SCHEDULE_ACTIVITY_FACTOR.get(schedule, 1.0)
     else:
         activity = iterations
     return float(activity), int(round(iterations))
@@ -198,10 +219,10 @@ def _activity(
 
 def _estimate_cpu(
     n: int, m_directed: int, b: int, paradigm: str,
-    cpu: CpuSpec, model: IterationModel, work_queue: bool,
+    cpu: CpuSpec, model: IterationModel, schedule: str,
 ) -> float:
     sweep = full_sweep_stats(n, m_directed, b, paradigm)
-    activity, _ = _activity(model, n, paradigm, work_queue)
+    activity, _ = _activity(model, n, paradigm, schedule)
     # AoS layout: ~1 cache line per gather for narrow vectors
     lines = max(1.0, (b * 4 + 4) / 64.0)
     return activity * cpu_sweep_time(
@@ -211,7 +232,7 @@ def _estimate_cpu(
 
 def _estimate_cuda(
     n: int, m_directed: int, b: int, paradigm: str,
-    device: DeviceSpec, model: IterationModel, work_queue: bool,
+    device: DeviceSpec, model: IterationModel, schedule: str,
 ) -> GpuDevice | None:
     """Simulated device after a full run, or None when over VRAM."""
     buffers = _device_buffer_bytes(n, m_directed, b)
@@ -227,9 +248,22 @@ def _estimate_cuda(
         gpu.alloc("potentials", pot_bytes)
     gpu.h2d(sum(buffers.values()) + pot_bytes, calls=len(buffers) + 1)
 
-    activity, iterations = _activity(model, n, paradigm, work_queue)
+    activity, iterations = _activity(model, n, paradigm, schedule)
     sweep = full_sweep_stats(n, m_directed, b, paradigm)
     scale = activity / max(iterations, 1)
+    n_elements = n if paradigm == "node" else m_directed
+    # scheduler bookkeeping per iteration (mirrors Schedule.charge)
+    pushes = int(n_elements * scale)
+    if schedule == "sync":
+        queue_ops = push_atomics = 0
+    elif schedule == "residual":
+        import math
+
+        queue_ops = 2 * pushes
+        push_atomics = pushes * max(1, math.ceil(math.log2(max(n_elements, 2))))
+    else:  # work_queue / relaxed: O(1) per push
+        queue_ops = 2 * pushes
+        push_atomics = pushes
     for i in range(1, iterations + 1):
         scaled = SweepStats(
             nodes_processed=int(sweep.nodes_processed * scale),
@@ -238,7 +272,8 @@ def _estimate_cuda(
             sequential_bytes=int(sweep.sequential_bytes * scale),
             random_bytes=int(sweep.random_bytes * scale),
             random_accesses=int(sweep.random_accesses * scale),
-            atomic_ops=int(sweep.atomic_ops * scale),
+            atomic_ops=int(sweep.atomic_ops * scale) + push_atomics,
+            queue_ops=queue_ops,
             reduction_elems=int(sweep.reduction_elems * scale),
             kernel_launches=sweep.kernel_launches,
         )
@@ -257,14 +292,16 @@ def estimate_cuda_breakdown(
     paradigm: str = "node",
     model: IterationModel | None = None,
     work_queue: bool = True,
+    schedule: str | None = None,
 ):
     """Paper-scale (total seconds, management fraction) for one CUDA
     backend — the §4.1.1 decomposition at Table 1 sizes.  Returns None
     when the graph exceeds VRAM."""
     device = get_device(device)
     model = model or IterationModel()
+    sched = _resolve_schedule(schedule, work_queue)
     gpu = _estimate_cuda(
-        bench.n_nodes, 2 * bench.n_edges, n_beliefs, paradigm, device, model, work_queue
+        bench.n_nodes, 2 * bench.n_edges, n_beliefs, paradigm, device, model, sched
     )
     if gpu is None:
         return None
@@ -279,22 +316,25 @@ def estimate_backend_times(
     cpu: CpuSpec = I7_7700HQ,
     model: IterationModel | None = None,
     work_queue: bool = True,
+    schedule: str | None = None,
 ) -> dict[str, float]:
     """Paper-scale modeled seconds for the four core backends.
 
-    CUDA entries are omitted when the graph does not fit the device VRAM
-    (§4.2's exclusions fall out naturally).
+    ``schedule`` names a scheduling policy (overrides the legacy
+    ``work_queue`` boolean).  CUDA entries are omitted when the graph
+    does not fit the device VRAM (§4.2's exclusions fall out naturally).
     """
     device = get_device(device)
     model = model or IterationModel()
+    sched = _resolve_schedule(schedule, work_queue)
     n, m_directed = bench.n_nodes, 2 * bench.n_edges
     times: dict[str, float] = {}
     for paradigm in ("node", "edge"):
         times[f"c-{paradigm}"] = _estimate_cpu(
-            n, m_directed, n_beliefs, paradigm, cpu, model, work_queue
+            n, m_directed, n_beliefs, paradigm, cpu, model, sched
         )
         cuda = _estimate_cuda(
-            n, m_directed, n_beliefs, paradigm, device, model, work_queue
+            n, m_directed, n_beliefs, paradigm, device, model, sched
         )
         if cuda is not None:
             times[f"cuda-{paradigm}"] = cuda.elapsed

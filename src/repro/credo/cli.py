@@ -23,11 +23,23 @@ def _build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run BP on a graph file")
     run.add_argument("path", help="BIF / XML-BIF file, or MTX node file")
     run.add_argument("edge_path", nargs="?", default=None, help="MTX edge file")
-    run.add_argument("--backend", default=None, help="force a backend (skip selection)")
+    run.add_argument(
+        "--backend", default=None,
+        help="force a backend (skip selection); may be schedule-qualified, "
+             "e.g. c-node:residual",
+    )
     run.add_argument("--device", default="gtx1070", help="simulated GPU (gtx1070/v100/a100)")
     run.add_argument("--threshold", type=float, default=1e-3)
     run.add_argument("--max-iterations", type=int, default=200)
-    run.add_argument("--no-work-queue", action="store_true")
+    run.add_argument(
+        "--schedule", default=None,
+        choices=("sync", "work_queue", "residual", "relaxed"),
+        help="scheduling policy (default: selector's choice)",
+    )
+    run.add_argument(
+        "--no-work-queue", action="store_true",
+        help="deprecated: same as --schedule sync",
+    )
     run.add_argument("--top", type=int, default=10, help="print the first N posteriors")
     run.add_argument(
         "--train", action="store_true",
@@ -91,17 +103,21 @@ def main(argv: list[str] | None = None) -> int:
     from repro.core.convergence import ConvergenceCriterion
     from repro.credo.runner import Credo
 
+    schedule = args.schedule
+    if args.no_work_queue and schedule is None:
+        schedule = "sync"
     credo = Credo(
         device=args.device,
         criterion=ConvergenceCriterion(
             threshold=args.threshold, max_iterations=args.max_iterations
         ),
-        work_queue=not args.no_work_queue,
+        schedule=schedule,
     )
     if args.train:
         credo.train(profile="smoke", use_cases=("binary",))
     result = credo.run_file(args.path, args.edge_path, backend=args.backend)
     print(f"backend       {result.backend}")
+    print(f"schedule      {result.detail.get('schedule', '-')}")
     print(f"iterations    {result.iterations}")
     print(f"converged     {result.converged}")
     print(f"wall time     {result.wall_time:.4f}s")

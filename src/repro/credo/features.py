@@ -17,7 +17,13 @@ import numpy as np
 
 from repro.core.graph import BeliefGraph
 
-__all__ = ["FEATURE_NAMES", "extract_features", "feature_matrix"]
+__all__ = [
+    "FEATURE_NAMES",
+    "SCHEDULE_FEATURE_NAMES",
+    "extract_features",
+    "extract_schedule_features",
+    "feature_matrix",
+]
 
 FEATURE_NAMES = (
     "n_nodes",
@@ -25,6 +31,14 @@ FEATURE_NAMES = (
     "n_beliefs",
     "degree_imbalance",
     "skew",
+)
+
+#: extra features informing the *schedule* choice (backend×schedule
+#: decision space); kept separate so the §3.7 five-feature classifier
+#: contract is untouched
+SCHEDULE_FEATURE_NAMES = FEATURE_NAMES + (
+    "degree_cv",
+    "hub_mass",
 )
 
 
@@ -58,6 +72,32 @@ def extract_features(graph: BeliefGraph) -> np.ndarray:
         ],
         dtype=np.float64,
     )
+
+
+def extract_schedule_features(graph: BeliefGraph) -> np.ndarray:
+    """The five §3.7 features plus scheduling-relevant skew measures.
+
+    * ``degree_cv`` — coefficient of variation of the in-degrees; uniform
+      grids sit near 0, power-law graphs well above 1.  High variance
+      means residual propagation is unbalanced and priority scheduling
+      can focus work on the slow hubs.
+    * ``hub_mass`` — fraction of edges incident to the top-1 % highest
+      degree nodes; measures how much of the convergence tail a priority
+      schedule can target.
+    """
+    base = extract_features(graph)
+    in_deg, out_deg = _canonical_degrees(graph)
+    degree = in_deg + out_deg  # total degree: undirected incidences
+    total = int(degree.sum())  # = 2 × canonical edge count
+    avg = float(degree.mean()) if graph.n_nodes else 0.0
+    std = float(degree.std()) if graph.n_nodes else 0.0
+    cv = std / avg if avg > 0 else 0.0
+    if total and graph.n_nodes:
+        top = max(1, graph.n_nodes // 100)
+        hub_mass = float(np.sort(degree)[-top:].sum()) / total
+    else:
+        hub_mass = 0.0
+    return np.concatenate([base, [cv, hub_mass]])
 
 
 def feature_matrix(graphs) -> np.ndarray:

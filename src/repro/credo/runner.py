@@ -40,11 +40,18 @@ class Credo:
         *,
         selector: CredoSelector | None = None,
         criterion: ConvergenceCriterion | None = None,
-        work_queue: bool = True,
+        schedule: str | None = None,
+        work_queue: bool | None = None,
     ):
+        """``schedule`` pins a scheduling policy for every run; ``None``
+        lets the selector pick per graph.  ``work_queue`` is the
+        deprecated boolean (True → ``"work_queue"``, False → ``"sync"``)
+        and is forwarded to the backend, which warns through
+        :class:`~repro.core.loopy.LoopyConfig`."""
         self.device = get_device(device)
         self.selector = selector or CredoSelector()
         self.criterion = criterion or ConvergenceCriterion()
+        self.schedule = schedule
         self.work_queue = work_queue
         self._backends: dict[str, Backend] = {
             "c-node": CNodeBackend(),
@@ -106,19 +113,42 @@ class Credo:
         """The backend Credo would choose for ``graph``."""
         return self.selector.select(graph)
 
-    def run(self, graph: BeliefGraph, *, backend: str | None = None) -> RunResult:
-        """Select (or honour ``backend=``) and execute BP on ``graph``."""
+    def select_schedule(self, graph: BeliefGraph, backend: str | None = None) -> str:
+        """The scheduling policy Credo would choose for ``graph``."""
+        if self.schedule is not None:
+            return self.schedule
+        return self.selector.select_schedule(graph, backend or self.select(graph))
+
+    def run(
+        self,
+        graph: BeliefGraph,
+        *,
+        backend: str | None = None,
+        schedule: str | None = None,
+    ) -> RunResult:
+        """Select (or honour ``backend=``/``schedule=``) and execute BP.
+
+        ``backend`` may be schedule-qualified (``"c-node:residual"``),
+        in which case the qualifier wins unless ``schedule=`` is given.
+        """
         name = backend or self.select(graph)
+        base_name, _, qualifier = name.partition(":")
         try:
-            engine = self._backends[name]
+            engine = self._backends[base_name]
         except KeyError:
             raise KeyError(
-                f"unknown backend {name!r}; Credo dispatches {sorted(self._backends)}"
+                f"unknown backend {base_name!r}; Credo dispatches "
+                f"{sorted(self._backends)}"
             ) from None
-        result = engine.run(
-            graph, criterion=self.criterion, work_queue=self.work_queue
-        )
-        result.detail["selected"] = name
+        if self.work_queue is not None and schedule is None and not qualifier:
+            # legacy boolean flows to the backend, which warns via LoopyConfig
+            result = engine.run(
+                graph, criterion=self.criterion, work_queue=self.work_queue
+            )
+        else:
+            chosen = schedule or qualifier or self.select_schedule(graph, base_name)
+            result = engine.run(graph, criterion=self.criterion, schedule=chosen)
+        result.detail["selected"] = base_name
         return result
 
     def select_file(self, node_path: str | Path, edge_path: str | Path) -> str:

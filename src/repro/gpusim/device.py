@@ -33,6 +33,7 @@ class TimeBreakdown:
     memory: float = 0.0
     atomics: float = 0.0
     reduction: float = 0.0
+    queue: float = 0.0
 
     @property
     def total(self) -> float:
@@ -45,6 +46,7 @@ class TimeBreakdown:
             + self.memory
             + self.atomics
             + self.reduction
+            + self.queue
         )
 
     @property
@@ -135,6 +137,7 @@ class GpuDevice:
             self.breakdown.memory += cost.memory
         self.breakdown.atomics += cost.atomics
         self.breakdown.reduction += cost.reduction
+        self.breakdown.queue += cost.queue
         self.kernel_count += max(stats.kernel_launches, 1)
         return cost
 

@@ -37,6 +37,9 @@ _REDUCTION_CYCLES_PER_ELEM = 1.5
 #: per-thread state budget (bytes) sustaining full occupancy; beyond it,
 #: register pressure/local spills cut resident warps proportionally
 _FULL_OCCUPANCY_STATE_BYTES = 192.0
+#: cycles per scheduler queue operation (clear/index write/pointer bump);
+#: distinct from atomic_ops, which the contention model prices
+_QUEUE_CYCLES_PER_OP = 4.0
 
 
 @dataclass(frozen=True)
@@ -48,11 +51,19 @@ class KernelCost:
     memory: float
     atomics: float
     reduction: float
+    queue: float = 0.0
 
     @property
     def total(self) -> float:
-        """Roofline total: launch + max(compute, memory) + atomics + reduction."""
-        return self.launch + max(self.compute, self.memory) + self.atomics + self.reduction
+        """Roofline total: launch + max(compute, memory) + atomics +
+        reduction + queue maintenance."""
+        return (
+            self.launch
+            + max(self.compute, self.memory)
+            + self.atomics
+            + self.reduction
+            + self.queue
+        )
 
 
 def launch_cost(
@@ -106,10 +117,18 @@ def launch_cost(
     reduction = device.cycles_to_seconds(
         stats.reduction_elems * _REDUCTION_CYCLES_PER_ELEM / device.sm_count
     )
+
+    # Scheduler queue maintenance (§3.5 and the residual/relaxed
+    # extensions): non-atomic index writes and pointer bumps, spread
+    # across the SMs.  Heap-order contention shows up in atomic_ops.
+    queue = device.cycles_to_seconds(
+        stats.queue_ops * _QUEUE_CYCLES_PER_OP / device.sm_count
+    )
     return KernelCost(
         launch=launch,
         compute=compute,
         memory=memory,
         atomics=atomics,
         reduction=reduction,
+        queue=queue,
     )

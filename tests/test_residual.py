@@ -1,42 +1,49 @@
-"""Residual-priority scheduling (extension; Gonzalez et al. line)."""
+"""Residual-priority scheduling (extension; Gonzalez et al. line).
+
+Runs through the unified driver — ``LoopyBP(schedule="residual")`` —
+with a couple of checks on the legacy ``ResidualBP`` alias.
+"""
 
 import numpy as np
-import pytest
 
-from repro.core import LoopyBP, exact_marginals
+from repro.core import LoopyBP, LoopyResult, exact_marginals
 from repro.core.convergence import ConvergenceCriterion
 from repro.core.residual import ResidualBP
 from tests.conftest import make_loopy_graph, make_tree_graph
 
 
-class TestResidualBP:
+def residual_bp(**kwargs) -> LoopyBP:
+    return LoopyBP(paradigm="edge", schedule="residual", **kwargs)
+
+
+class TestResidualSchedule:
     def test_exact_on_trees(self):
         g = make_tree_graph(seed=71, n_nodes=8)
         expected = exact_marginals(g)
-        result = ResidualBP().run(g)
+        result = residual_bp().run(g)
         assert result.converged
         np.testing.assert_allclose(result.beliefs, expected, atol=1e-3)
 
     def test_agrees_with_synchronous_loopy(self):
         g = make_loopy_graph(seed=72, n_nodes=25, n_edges=50)
         crit = ConvergenceCriterion(threshold=1e-6, max_iterations=400)
-        sync = LoopyBP(work_queue=False, criterion=crit).run(g.copy())
-        resid = ResidualBP(criterion=crit).run(g.copy())
+        sync = LoopyBP(schedule="sync", criterion=crit).run(g.copy())
+        resid = residual_bp(criterion=crit).run(g.copy())
         np.testing.assert_allclose(resid.beliefs, sync.beliefs, atol=5e-3)
 
     def test_fewer_updates_than_full_sweeps(self):
         """The point of priority scheduling: focus work on the frontier."""
         g = make_loopy_graph(seed=73, n_nodes=60, n_edges=120)
         crit = ConvergenceCriterion(threshold=1e-4, max_iterations=400)
-        sync = LoopyBP(work_queue=False, criterion=crit).run(g.copy())
-        resid = ResidualBP(criterion=crit).run(g.copy())
+        sync = LoopyBP(schedule="sync", criterion=crit).run(g.copy())
+        resid = residual_bp(criterion=crit).run(g.copy())
         assert resid.converged
         assert resid.updates < sync.iterations * g.n_edges
 
     def test_respects_update_cap(self):
         g = make_loopy_graph(seed=74, coupling=0.95)
         crit = ConvergenceCriterion(threshold=1e-12, max_iterations=2)
-        result = ResidualBP(criterion=crit).run(g)
+        result = residual_bp(criterion=crit).run(g)
         assert result.updates <= 2 * g.n_edges
 
     def test_edgeless_graph(self):
@@ -47,7 +54,7 @@ class TestResidualBP:
             np.array([[0.3, 0.7]]), np.empty((0, 2), dtype=np.int64),
             attractive_potential(2, 0.8),
         )
-        result = ResidualBP().run(g)
+        result = residual_bp().run(g)
         assert result.converged and result.updates == 0
 
     def test_observed_nodes_stay_clamped(self):
@@ -55,11 +62,34 @@ class TestResidualBP:
 
         g = make_loopy_graph(seed=75)
         observe(g, 2, 1)
-        result = ResidualBP().run(g)
+        result = residual_bp().run(g)
         np.testing.assert_allclose(result.beliefs[2], [0.0, 1.0], atol=1e-6)
 
     def test_damping_still_converges(self):
         g = make_loopy_graph(seed=76)
-        result = ResidualBP(damping=0.3).run(g)
+        result = residual_bp(damping=0.3).run(g)
         assert result.converged
         np.testing.assert_allclose(result.beliefs.sum(axis=1), 1.0, atol=1e-4)
+
+
+class TestResidualBPAlias:
+    """The legacy entry point is a thin alias over the unified driver."""
+
+    def test_returns_loopy_result(self):
+        g = make_loopy_graph(seed=77)
+        result = ResidualBP().run(g)
+        assert isinstance(result, LoopyResult)
+        assert result.config.schedule == "residual"
+        assert result.config.paradigm == "edge"
+
+    def test_matches_unified_driver(self):
+        crit = ConvergenceCriterion(threshold=1e-5, max_iterations=400)
+        via_alias = ResidualBP(criterion=crit).run(make_loopy_graph(seed=78))
+        via_loopy = residual_bp(criterion=crit).run(make_loopy_graph(seed=78))
+        np.testing.assert_array_equal(via_alias.beliefs, via_loopy.beliefs)
+        assert via_alias.updates == via_loopy.updates
+
+    def test_residualresult_is_gone(self):
+        import repro.core.residual as mod
+
+        assert not hasattr(mod, "ResidualResult")
