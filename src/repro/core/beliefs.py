@@ -85,6 +85,15 @@ class BeliefStore:
     def copy(self) -> "BeliefStore":
         raise NotImplementedError
 
+    def copy_rows_from(self, other: "BeliefStore", rows: np.ndarray) -> None:
+        """Overwrite the given nodes' vectors with ``other``'s (same dims).
+
+        Subclasses override with a vectorized path when both stores share
+        the physical layout; this fallback loops.
+        """
+        for i in rows:
+            self.set(int(i), other.get(int(i)))
+
     def __len__(self) -> int:
         return self.n
 
@@ -153,6 +162,22 @@ class SoABeliefStore(BeliefStore):
         clone.probs[:] = self.probs
         return clone
 
+    def copy_rows_from(self, other: BeliefStore, rows: np.ndarray) -> None:
+        if not isinstance(other, SoABeliefStore) or len(other) != self.n:
+            super().copy_rows_from(other, rows)
+            return
+        rows = np.asarray(rows, dtype=np.int64)
+        if not len(rows):
+            return
+        starts = self.offsets[rows]
+        sizes = self.dims[rows]
+        total = int(sizes.sum())
+        local = np.zeros(len(rows), dtype=np.int64)
+        np.cumsum(sizes[:-1], out=local[1:])
+        rank = np.arange(total) - np.repeat(local, sizes)
+        flat = np.repeat(starts, sizes) + rank
+        self.probs[flat] = other.probs[flat]
+
     def bytes_per_node(self) -> float:
         # probabilities + an 8-byte offset + an 8-byte dim per node
         return float(self.probs.nbytes + self.offsets.nbytes + self.dims.nbytes) / max(self.n, 1)
@@ -200,6 +225,14 @@ class AoSBeliefStore(BeliefStore):
         clone = AoSBeliefStore(self.dims)
         clone.records[:] = self.records
         return clone
+
+    def copy_rows_from(self, other: BeliefStore, rows: np.ndarray) -> None:
+        if not isinstance(other, AoSBeliefStore) or len(other) != self.n:
+            super().copy_rows_from(other, rows)
+            return
+        rows = np.asarray(rows, dtype=np.int64)
+        if len(rows):
+            self.records["probs"][rows] = other.records["probs"][rows]
 
     def bytes_per_node(self) -> float:
         return float(self.records.nbytes) / max(self.n, 1)

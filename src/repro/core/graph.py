@@ -151,6 +151,13 @@ class BeliefGraph:
         self.observed = np.zeros(self.n_nodes, dtype=bool)
         self.observed_state = np.full(self.n_nodes, -1, dtype=np.int64)
 
+        # --- lazy caches -------------------------------------------------
+        #: name → id mapping, built on first string lookup (see node_id)
+        self._name_to_id: dict[str, int] | None = None
+        #: memoized metadata features, shared by copies (structure is
+        #: shared too); repro.credo.features reads and fills this
+        self._feature_cache: dict[str, np.ndarray] = {}
+
     # ------------------------------------------------------------------
     @classmethod
     def from_undirected(
@@ -265,10 +272,39 @@ class BeliefGraph:
     def children(self, v: int) -> np.ndarray:
         return self.dst[self.out_edges(v)]
 
+    def node_id(self, node: int | str) -> int:
+        """Resolve a node name (or pass through an id) to an integer id.
+
+        The name → id mapping is built lazily on the first string lookup
+        and carried through :meth:`copy`, so repeated evidence application
+        (the serving hot path) avoids a linear ``list.index`` scan per
+        call.  Duplicate names resolve to the first occurrence, matching
+        ``list.index`` semantics.  Raises ``KeyError`` for unknown names.
+        """
+        if not isinstance(node, str):
+            return int(node)
+        if self._name_to_id is None:
+            mapping: dict[str, int] = {}
+            for i, name in enumerate(self.node_names):
+                mapping.setdefault(name, i)
+            self._name_to_id = mapping
+        try:
+            return self._name_to_id[node]
+        except KeyError:
+            raise KeyError(f"unknown node name {node!r}") from None
+
+    def invalidate_metadata_cache(self) -> None:
+        """Drop memoized features and the name map after a structural
+        mutation (renamed nodes, rewired edges done in place)."""
+        self._feature_cache.clear()
+        self._name_to_id = None
+
     def reset_beliefs(self) -> None:
         """Restore beliefs to the priors (and re-clamp observed nodes)."""
-        for i in range(self.n_nodes):
-            self.beliefs.set(i, self.priors.get(i))
+        if self.n_nodes:
+            self.beliefs.copy_rows_from(
+                self.priors, np.arange(self.n_nodes, dtype=np.int64)
+            )
         self._reclamp()
 
     def _reclamp(self) -> None:
@@ -321,6 +357,9 @@ class BeliefGraph:
         clone.out_offsets, clone.out_edge_ids = self.out_offsets, self.out_edge_ids
         clone.observed = self.observed.copy()
         clone.observed_state = self.observed_state.copy()
+        # structure (and hence names/features) is shared, so the caches are too
+        clone._name_to_id = self._name_to_id
+        clone._feature_cache = self._feature_cache
         return clone
 
     def __repr__(self) -> str:

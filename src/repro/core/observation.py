@@ -22,11 +22,7 @@ def observe(graph: BeliefGraph, node: int | str, state: int) -> None:
     ``node`` may be an id or a node name.  Raises ``ValueError`` for an
     out-of-range state and ``KeyError`` for an unknown name.
     """
-    if isinstance(node, str):
-        try:
-            node = graph.node_names.index(node)
-        except ValueError:
-            raise KeyError(f"unknown node name {node!r}") from None
+    node = graph.node_id(node)
     if not 0 <= node < graph.n_nodes:
         raise IndexError(f"node {node} out of range")
     dim = int(graph.dims[node])
@@ -41,7 +37,8 @@ def observe(graph: BeliefGraph, node: int | str, state: int) -> None:
 
 def clear_observations(graph: BeliefGraph) -> None:
     """Remove all evidence and restore the affected nodes' priors."""
-    for i in np.flatnonzero(graph.observed):
-        graph.beliefs.set(int(i), graph.priors.get(int(i)))
+    idx = np.flatnonzero(graph.observed)
+    if len(idx):
+        graph.beliefs.copy_rows_from(graph.priors, idx)
     graph.observed[:] = False
     graph.observed_state[:] = -1

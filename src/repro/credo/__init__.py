@@ -17,9 +17,10 @@ from repro.credo.features import FEATURE_NAMES, extract_features, feature_matrix
 from repro.credo.rules import rule_select, SMALL_GRAPH_NODES, LARGE_GRAPH_NODES
 from repro.credo.selector import CredoSelector
 from repro.credo.training import build_training_set, TrainingRow
-from repro.credo.runner import Credo
+from repro.credo.runner import Credo, ExecutionPlan
 
 __all__ = [
+    "ExecutionPlan",
     "FEATURE_NAMES",
     "extract_features",
     "feature_matrix",

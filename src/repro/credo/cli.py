@@ -57,12 +57,166 @@ def _build_parser() -> argparse.ArgumentParser:
     conv.add_argument("out_prefix", help="output prefix: writes <prefix>.nodes/.edges")
 
     sub.add_parser("backends", help="list available backends")
+
+    serve = sub.add_parser(
+        "serve", help="serve posterior queries over JSON-lines (stdin or TCP)"
+    )
+    serve.add_argument(
+        "models", nargs="*", metavar="NAME=PATH",
+        help="graphs to pre-register, e.g. alarm=models/alarm.bif "
+             "(bare PATH registers under its stem)",
+    )
+    serve.add_argument(
+        "--socket", default=None, metavar="HOST:PORT",
+        help="listen on TCP instead of stdin (PORT 0 picks a free port; "
+             "the bound address is printed as 'listening on HOST:PORT')",
+    )
+    serve.add_argument("--device", default="gtx1070")
+    serve.add_argument("--backend", default=None,
+                       help="pin every model to one backend (skip selection)")
+    serve.add_argument("--schedule", default=None,
+                       choices=("sync", "work_queue", "residual", "relaxed"))
+    serve.add_argument("--threshold", type=float, default=1e-3)
+    serve.add_argument("--max-iterations", type=int, default=200)
+    serve.add_argument("--queue-capacity", type=int, default=64)
+    serve.add_argument("--max-batch", type=int, default=16,
+                       help="micro-batch width (1 disables batching)")
+    serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                       help="linger window for coalescing concurrent queries")
+    serve.add_argument("--cache-capacity", type=int, default=256,
+                       help="result-cache entries (0 disables caching)")
+    serve.add_argument("--deadline-s", type=float, default=None,
+                       help="default per-request deadline")
+    serve.add_argument("--stats", action="store_true",
+                       help="print a metrics snapshot on exit")
+
+    query = sub.add_parser("query", help="query a running 'credo serve' instance")
+    query.add_argument("model", help="registered model name")
+    query.add_argument("--connect", required=True, metavar="HOST:PORT",
+                       help="address printed by 'credo serve --socket'")
+    query.add_argument("--evidence", default="",
+                       help="comma-separated node=state clamps, e.g. 'alarm=1,smoke=0'")
+    query.add_argument("--nodes", default=None,
+                       help="comma-separated node names to return (default all)")
+    query.add_argument("--no-cache", action="store_true")
+    query.add_argument("--op", default="query",
+                       choices=("query", "stats", "models", "shutdown"),
+                       help="non-query ops need only --connect")
+    query.add_argument("--expect-posterior", action="store_true",
+                       help="exit non-zero unless the response carries "
+                            "well-formed, normalized posteriors")
+    query.add_argument("--timeout", type=float, default=30.0)
     return parser
+
+
+def _parse_hostport(spec: str) -> tuple[str, int]:
+    host, _, port = spec.rpartition(":")
+    return host or "127.0.0.1", int(port)
+
+
+def _cmd_serve(args) -> int:
+    import json
+
+    from repro.serve import InferenceServer, ServerConfig
+    from repro.serve.transport import serve_socket, serve_stdin
+
+    config = ServerConfig(
+        device=args.device,
+        backend=args.backend,
+        schedule=args.schedule,
+        threshold=args.threshold,
+        max_iterations=args.max_iterations,
+        queue_capacity=args.queue_capacity,
+        max_batch=args.max_batch,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        cache_capacity=args.cache_capacity,
+        default_deadline_s=args.deadline_s,
+    )
+    server = InferenceServer(config)
+    try:
+        for spec in args.models:
+            name, _, path = spec.rpartition("=")
+            if not name:
+                from pathlib import Path
+
+                path = spec
+                name = Path(spec).stem
+            model = server.load_model(name, path)
+            print(
+                f"registered {name}: {model.graph.n_nodes} nodes, "
+                f"plan {model.plan.qualified}",
+                file=sys.stderr,
+            )
+        if args.socket is not None:
+            host, port = _parse_hostport(args.socket)
+            serve_socket(server, host, port)
+        else:
+            serve_stdin(server)
+        if args.stats:
+            print(json.dumps(server.stats(), indent=2, sort_keys=True))
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import json
+
+    from repro.serve.transport import request_over_socket
+
+    host, port = _parse_hostport(args.connect)
+    if args.op != "query":
+        payload = {"op": args.op}
+    else:
+        evidence = {}
+        for clamp in filter(None, args.evidence.split(",")):
+            node, _, state = clamp.partition("=")
+            if not _ or not node:
+                print(f"error: bad --evidence clamp {clamp!r} "
+                      "(expected node=state)", file=sys.stderr)
+                return 2
+            evidence[node.strip()] = int(state)
+        payload = {"op": "query", "model": args.model, "evidence": evidence,
+                   "use_cache": not args.no_cache}
+        if args.nodes:
+            payload["nodes"] = [n.strip() for n in args.nodes.split(",")]
+    try:
+        response = request_over_socket(host, port, payload, timeout=args.timeout)
+    except (ConnectionError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    response.pop("op", None)  # parse_line defaults it in; not part of the answer
+    print(json.dumps(response, indent=2, sort_keys=True))
+    if not response.get("ok"):
+        return 1
+    if args.expect_posterior:
+        posteriors = response.get("posteriors")
+        if not isinstance(posteriors, dict) or not posteriors:
+            print("error: response carries no posteriors", file=sys.stderr)
+            return 1
+        for name, probs in posteriors.items():
+            if (
+                not isinstance(probs, list)
+                or not probs
+                or any((not isinstance(p, (int, float)) or p < -1e-9) for p in probs)
+                or abs(sum(probs) - 1.0) > 1e-4
+            ):
+                print(f"error: malformed posterior for {name!r}: {probs}",
+                      file=sys.stderr)
+                return 1
+        print(f"posteriors OK ({len(posteriors)} nodes)", file=sys.stderr)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+
+    if args.command == "serve":
+        return _cmd_serve(args)
+
+    if args.command == "query":
+        return _cmd_query(args)
 
     if args.command == "backends":
         from repro.backends.registry import available_backends

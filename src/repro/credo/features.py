@@ -54,15 +54,35 @@ def _canonical_degrees(graph: BeliefGraph) -> tuple[np.ndarray, np.ndarray]:
     return in_deg, out_deg
 
 
+def _cache(graph: BeliefGraph) -> dict:
+    """The graph's memoization dict (older pickles may lack the slot)."""
+    cache = getattr(graph, "_feature_cache", None)
+    if cache is None:
+        cache = graph._feature_cache = {}
+    return cache
+
+
 def extract_features(graph: BeliefGraph) -> np.ndarray:
-    """The five-feature vector of §3.7 for one graph."""
+    """The five-feature vector of §3.7 for one graph.
+
+    Features depend only on the graph *structure* (never on beliefs or
+    evidence), so they are memoized on the graph object — and shared by
+    :meth:`~repro.core.graph.BeliefGraph.copy` clones — making repeated
+    selection (the serving hot path) O(1) after the first call.  A
+    structural in-place mutation must call
+    :meth:`~repro.core.graph.BeliefGraph.invalidate_metadata_cache`.
+    """
+    cache = _cache(graph)
+    cached = cache.get("base")
+    if cached is not None:
+        return cached.copy()
     in_deg, out_deg = _canonical_degrees(graph)
     n = graph.n_nodes
     m = int(in_deg.sum())  # canonical (undirected) edge count
     max_in = float(in_deg.max(initial=0))
     max_out = float(out_deg.max(initial=0))
     avg_in = float(in_deg.mean()) if n else 0.0
-    return np.array(
+    feats = np.array(
         [
             float(n),
             n / m if m else 0.0,
@@ -72,6 +92,8 @@ def extract_features(graph: BeliefGraph) -> np.ndarray:
         ],
         dtype=np.float64,
     )
+    cache["base"] = feats
+    return feats.copy()
 
 
 def extract_schedule_features(graph: BeliefGraph) -> np.ndarray:
@@ -85,6 +107,10 @@ def extract_schedule_features(graph: BeliefGraph) -> np.ndarray:
       degree nodes; measures how much of the convergence tail a priority
       schedule can target.
     """
+    cache = _cache(graph)
+    cached = cache.get("schedule")
+    if cached is not None:
+        return cached.copy()
     base = extract_features(graph)
     in_deg, out_deg = _canonical_degrees(graph)
     degree = in_deg + out_deg  # total degree: undirected incidences
@@ -97,7 +123,9 @@ def extract_schedule_features(graph: BeliefGraph) -> np.ndarray:
         hub_mass = float(np.sort(degree)[-top:].sum()) / total
     else:
         hub_mass = 0.0
-    return np.concatenate([base, [cv, hub_mass]])
+    feats = np.concatenate([base, [cv, hub_mass]])
+    cache["schedule"] = feats
+    return feats.copy()
 
 
 def feature_matrix(graphs) -> np.ndarray:

@@ -9,7 +9,9 @@ to run more efficiently and outperform previous efforts."
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.backends.base import Backend, RunResult
 from repro.backends.c_backends import CEdgeBackend, CNodeBackend
@@ -21,7 +23,34 @@ from repro.credo.training import build_training_set
 from repro.gpusim.arch import DeviceSpec, get_device
 from repro.io.detect import load_graph
 
-__all__ = ["Credo"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve.config import ServerConfig
+
+__all__ = ["Credo", "ExecutionPlan"]
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A selector decision frozen for reuse across requests.
+
+    The serving layer amortizes Credo's backend + schedule choice per
+    *registered graph* instead of per query: :meth:`Credo.plan` runs the
+    selection once and every subsequent :meth:`Credo.run` with ``plan=``
+    skips feature extraction and classification entirely.
+    """
+
+    backend: str
+    schedule: str
+
+    @property
+    def paradigm(self) -> str:
+        """``"node"`` or ``"edge"``, from the backend name."""
+        return self.backend.rsplit("-", 1)[-1]
+
+    @property
+    def qualified(self) -> str:
+        """The ``"<backend>:<schedule>"`` registry-style name."""
+        return f"{self.backend}:{self.schedule}"
 
 
 class Credo:
@@ -59,6 +88,17 @@ class Credo:
             "cuda-node": CudaNodeBackend(self.device),
             "cuda-edge": CudaEdgeBackend(self.device),
         }
+
+    @classmethod
+    def from_server_config(cls, config: "ServerConfig") -> "Credo":
+        """Build a runner wired the way a :class:`repro.serve` server
+        wants it: the config's device, convergence criterion and (when
+        pinned) backend-independent schedule."""
+        return cls(
+            device=config.device,
+            criterion=config.criterion(),
+            schedule=config.schedule,
+        )
 
     # ------------------------------------------------------------------
     def train(
@@ -119,18 +159,38 @@ class Credo:
             return self.schedule
         return self.selector.select_schedule(graph, backend or self.select(graph))
 
+    def plan(self, graph: BeliefGraph, *, backend: str | None = None) -> ExecutionPlan:
+        """Run selection once and freeze the decision for reuse.
+
+        The returned :class:`ExecutionPlan` can be passed to :meth:`run`
+        (any number of times, e.g. once per served query) to skip
+        re-selection; ``backend=`` pins the backend and only the schedule
+        is chosen.
+        """
+        base_name, _, qualifier = (backend or self.select(graph)).partition(":")
+        schedule = qualifier or self.select_schedule(graph, base_name)
+        return ExecutionPlan(backend=base_name, schedule=schedule)
+
     def run(
         self,
         graph: BeliefGraph,
         *,
         backend: str | None = None,
         schedule: str | None = None,
+        plan: ExecutionPlan | None = None,
     ) -> RunResult:
-        """Select (or honour ``backend=``/``schedule=``) and execute BP.
+        """Select (or honour ``backend=``/``schedule=``/``plan=``) and
+        execute BP.
 
         ``backend`` may be schedule-qualified (``"c-node:residual"``),
         in which case the qualifier wins unless ``schedule=`` is given.
+        ``plan`` short-circuits selection entirely (amortized serving
+        path); it is mutually exclusive with the other two.
         """
+        if plan is not None:
+            if backend is not None or schedule is not None:
+                raise ValueError("plan= is mutually exclusive with backend=/schedule=")
+            backend, schedule = plan.backend, plan.schedule
         name = backend or self.select(graph)
         base_name, _, qualifier = name.partition(":")
         try:

@@ -152,3 +152,55 @@ class TestState:
             _priors(2), np.array([[0, 1]]), attractive_potential(2, 0.8)
         )
         assert "n_nodes=2" in repr(g)
+
+
+class TestNameLookupAndFeatureCache:
+    """Serving-path satellites: lazy name->id map, memoized features."""
+
+    def _named(self):
+        return BeliefGraph.from_undirected(
+            _priors(3), np.array([[0, 1], [1, 2]]), attractive_potential(2, 0.8),
+            node_names=["a", "b", "c"],
+        )
+
+    def test_node_id_resolves_names_and_passes_ints(self):
+        g = self._named()
+        assert g.node_id("b") == 1
+        assert g.node_id(2) == 2
+        with pytest.raises(KeyError):
+            g.node_id("zz")
+
+    def test_duplicate_names_resolve_to_first_occurrence(self):
+        g = BeliefGraph.from_undirected(
+            _priors(3), np.array([[0, 1], [1, 2]]), attractive_potential(2, 0.8),
+            node_names=["x", "x", "y"],
+        )
+        assert g.node_id("x") == g.node_names.index("x") == 0
+
+    def test_copy_shares_name_map(self):
+        g = self._named()
+        g.node_id("a")  # force the lazy build
+        clone = g.copy()
+        assert clone._name_to_id is g._name_to_id
+        assert clone.node_id("c") == 2
+
+    def test_feature_memoization_and_invalidation(self):
+        from repro.credo.features import extract_features
+
+        g = self._named()
+        first = extract_features(g)
+        assert "base" in g._feature_cache
+        cached = g._feature_cache["base"]
+        second = extract_features(g)
+        np.testing.assert_array_equal(first, second)
+        assert g._feature_cache["base"] is cached  # no recompute
+        g.invalidate_metadata_cache()
+        assert g._feature_cache == {} and g._name_to_id is None
+
+    def test_feature_cache_shared_through_copy(self):
+        from repro.credo.features import extract_features
+
+        g = self._named()
+        extract_features(g)
+        clone = g.copy()
+        assert clone._feature_cache is g._feature_cache
