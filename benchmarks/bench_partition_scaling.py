@@ -1,0 +1,196 @@
+"""EXT — partition scaling: shard-parallel execution vs a single engine.
+
+The sharding layer (DESIGN.md §9) claims three things, each measured
+here on a ≥50 k-edge lattice (160×160 grid, 8 states — the §2.2 image
+use-case shape, where per-sweep matmuls dominate):
+
+1. **Partitioner quality is measured, not assumed** — the four
+   partitioners produce very different cut fractions on the same graph,
+   and the locality-aware ones (range / bfs / greedy) cut orders of
+   magnitude fewer edges than random hash on a mesh.
+2. **Shard-parallel execution scales** — on the bulk-synchronous CPU
+   cost model (measured straggler + exchange + barrier, the same
+   modeled-time currency every figure reproduction uses), serving a
+   query at 4 shards is well over the 1.5× acceptance bar vs 1 shard.
+3. **The serving layer inherits the win end-to-end** — a sharded
+   ``InferenceServer`` answers the same evidence queries with identical
+   posteriors; measured wall-clock throughput is reported alongside for
+   the record (this container is single-core, so *wall-clock* thread
+   scaling is bounded by hardware, not by the design).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from harness import format_table, save_result
+from repro.backends import get_backend
+from repro.core.convergence import ConvergenceCriterion
+from repro.graphs.grids import grid_graph
+from repro.partition import PARTITIONERS, make_partition
+from repro.serve import InferenceServer, ServerConfig
+
+ROWS = COLS = 160
+N_STATES = 8
+SHARD_COUNTS = (1, 2, 4, 8)
+QUERIES = 3
+SPEEDUP_BAR = 1.5  # acceptance: 4-shard modeled throughput vs 1-shard
+
+
+def _graph():
+    return grid_graph(ROWS, COLS, n_states=N_STATES, seed=3)
+
+
+def _criterion():
+    return ConvergenceCriterion(threshold=1e-3, max_iterations=40)
+
+
+@pytest.fixture(scope="module")
+def scaling_results():
+    graph = _graph()
+    assert graph.n_edges >= 50_000  # the acceptance floor
+
+    # -- 1. partitioner quality at k=4 ---------------------------------
+    quality = []
+    for method in PARTITIONERS:
+        t0 = time.perf_counter()
+        part = make_partition(graph, 4, method)
+        quality.append(
+            {
+                "method": method,
+                "cut": part.cut_fraction,
+                "balance": part.balance,
+                "seconds": time.perf_counter() - t0,
+            }
+        )
+
+    # -- 2. modeled shard scaling (the cost-model currency) ------------
+    reference = None
+    scaling = []
+    for k in SHARD_COUNTS:
+        backend = get_backend("sharded", n_shards=k, partitioner="bfs")
+        result = backend.run(graph.copy(), criterion=_criterion(), schedule="sync")
+        if reference is None:
+            reference = result
+        scaling.append(
+            {
+                "shards": k,
+                "modeled_s": result.modeled_time,
+                "speedup": reference.modeled_time / result.modeled_time,
+                "cut": result.detail["cut_fraction"],
+                "balance": result.detail["shard_balance"],
+                "exchange_bytes": result.detail["exchange_bytes"],
+                "max_diff": float(
+                    np.abs(result.beliefs - reference.beliefs).max()
+                ),
+            }
+        )
+
+    # -- 3. serve layer end-to-end: 1 shard vs 4 shards ----------------
+    serve = {}
+    posteriors = {}
+    for label, shards in (("serve 1-shard", 1), ("serve 4-shard", 4)):
+        config = ServerConfig(
+            shards=shards,
+            partitioner="bfs",
+            backend="c-node",
+            schedule="sync",
+            threshold=1e-3,
+            max_iterations=40,
+            cache_capacity=0,  # measure execution, not the cache
+            max_batch=1,
+        )
+        server = InferenceServer(config)
+        server.register_model("grid", graph.copy())
+        try:
+            latencies = []
+            answers = []
+            for q in range(QUERIES):
+                evidence = {str((q * 5261) % graph.n_nodes): q % N_STATES}
+                t0 = time.perf_counter()
+                response = server.query("grid", evidence)
+                latencies.append(time.perf_counter() - t0)
+                assert response.ok, response.error
+                answers.append(response.posteriors)
+            serve[label] = {
+                "qps": len(latencies) / sum(latencies),
+                "p50_ms": float(np.median(latencies)) * 1000,
+            }
+            posteriors[label] = answers
+        finally:
+            server.stop()
+
+    # sharded serving must answer with the same posteriors
+    for a, b in zip(posteriors["serve 1-shard"], posteriors["serve 4-shard"]):
+        for name in ("0", "12800", "25599"):
+            np.testing.assert_allclose(a[name], b[name], atol=1e-6)
+
+    return {"quality": quality, "scaling": scaling, "serve": serve, "graph": graph}
+
+
+class TestPartitionScaling:
+    def test_locality_partitioners_beat_hash(self, scaling_results):
+        by_method = {q["method"]: q["cut"] for q in scaling_results["quality"]}
+        # structure-aware placement always beats random hash on a mesh;
+        # the contiguity-driven ones (range/bfs) by an order of magnitude,
+        # degree-ordered greedy by less (a grid has no degree signal)
+        for smart in ("range", "bfs", "greedy"):
+            assert by_method[smart] < by_method["hash"] / 2
+        for contiguous in ("range", "bfs"):
+            assert by_method[contiguous] < by_method["hash"] / 10
+
+    def test_modeled_speedup_clears_the_bar(self, scaling_results):
+        """Acceptance: ≥1.5× throughput at 4 shards vs 1 on ≥50k edges."""
+        at4 = next(r for r in scaling_results["scaling"] if r["shards"] == 4)
+        assert at4["speedup"] >= SPEEDUP_BAR, at4
+
+    def test_sharding_never_changes_posteriors(self, scaling_results):
+        for row in scaling_results["scaling"]:
+            assert row["max_diff"] <= 1e-6, row
+
+    def test_report(self, scaling_results):
+        g = scaling_results["graph"]
+        quality_table = format_table(
+            ["partitioner", "cut fraction", "balance", "seconds"],
+            [
+                [q["method"], q["cut"], q["balance"], q["seconds"]]
+                for q in scaling_results["quality"]
+            ],
+            title=(
+                f"EXT — partition scaling ({ROWS}x{COLS} grid, "
+                f"{g.n_nodes} nodes, {g.n_edges} directed edges, "
+                f"{N_STATES} states)\n\nPartitioner quality at 4 shards:"
+            ),
+        )
+        scaling_table = format_table(
+            ["shards", "modeled s/query", "speedup", "cut", "balance",
+             "exchange B/query", "max |Δbelief|"],
+            [
+                [r["shards"], r["modeled_s"], f"{r['speedup']:.2f}x", r["cut"],
+                 r["balance"], r["exchange_bytes"], r["max_diff"]]
+                for r in scaling_results["scaling"]
+            ],
+            title="Modeled shard scaling (bfs partitioner, sync schedule):",
+        )
+        serve_table = format_table(
+            ["configuration", "queries/s (wall)", "p50 ms"],
+            [
+                [label, r["qps"], r["p50_ms"]]
+                for label, r in scaling_results["serve"].items()
+            ],
+            title=(
+                "Serve layer, measured wall clock (single-core container — "
+                "wall scaling is hardware-bound; the modeled table above is "
+                "the cost-model currency):"
+            ),
+        )
+        at4 = next(r for r in scaling_results["scaling"] if r["shards"] == 4)
+        text = "\n\n".join([quality_table, scaling_table, serve_table])
+        text += (
+            f"\n\n4-shard vs 1-shard modeled throughput: {at4['speedup']:.2f}x "
+            f"(bar: {SPEEDUP_BAR}x) — posteriors identical to 1e-6."
+        )
+        save_result("EXT_partition_scaling", text)

@@ -9,10 +9,12 @@ benchmark graphs" while Credo needs seconds.
 This backend executes the same numerics and models a classic
 bulk-synchronous distributed BP:
 
-* the graph is partitioned over ``ranks`` workers (random hash
-  partitioning — the paper's related work had to "reprocess the graph
-  into a form amenable to this distributed environment"; a smarter
-  partitioner is exposed as the ``edge_cut_fraction`` knob);
+* the graph is partitioned over ``ranks`` workers by a *measured*
+  :class:`~repro.partition.Partition` (default random hash — the
+  paper's related work had to "reprocess the graph into a form amenable
+  to this distributed environment"; pick ``partitioner="bfs"`` etc. to
+  see what a smarter split buys).  The legacy ``edge_cut_fraction``
+  override is deprecated in favour of measured cuts;
 * every iteration, each worker sweeps its local subgraph (CPU cost model
   over its share of the work) and then exchanges boundary messages: one
   latency-bound round plus bandwidth for ``cut × message`` bytes
@@ -25,6 +27,8 @@ The E14 benchmark uses it to regenerate the §5.1 comparison table.
 
 from __future__ import annotations
 
+import math
+import warnings
 from dataclasses import dataclass
 
 from repro.backends.base import Backend, RunResult
@@ -32,6 +36,7 @@ from repro.backends.cpu_cost import CpuSpec, I7_7700HQ, cpu_sweep_time
 from repro.core.convergence import ConvergenceCriterion
 from repro.core.graph import BeliefGraph
 from repro.core.loopy import LoopyBP
+from repro.partition import Partition, make_partition
 
 __all__ = [
     "ClusterSpec",
@@ -97,25 +102,41 @@ class DistributedBackend(Backend):
         cluster: ClusterSpec = ETHERNET_1G,
         *,
         paradigm: str = "node",
+        partitioner: str = "hash",
         edge_cut_fraction: float | None = None,
         messages_per_round: int | None = None,
+        seed: int = 0,
     ):
+        if edge_cut_fraction is not None:
+            warnings.warn(
+                "edge_cut_fraction is deprecated: DistributedBackend now "
+                "measures the cut of a real partition; pass partitioner="
+                "'bfs'/'greedy'/... instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.cluster = cluster
         self.paradigm = paradigm
+        self.partitioner = partitioner
         self.edge_cut_fraction = edge_cut_fraction
         self.messages_per_round = messages_per_round
+        self.seed = seed
 
     def supports(self, graph: BeliefGraph) -> bool:
         return graph.uniform
 
-    def _cut_fraction(self) -> float:
-        """Expected fraction of edges crossing partitions.
+    def _cut_fraction(self, partition: Partition | None = None) -> float:
+        """Fraction of edges crossing partitions.
 
-        Random hash partitioning cuts ``1 − 1/ranks`` of the edges —
+        With a measured :class:`~repro.partition.Partition` in hand this
+        is its actual cut; the no-argument form keeps the analytic
+        expectation for random hash partitioning, ``1 − 1/ranks`` —
         which is why the related work had to reprocess their graphs.
         """
         if self.edge_cut_fraction is not None:
             return self.edge_cut_fraction
+        if partition is not None:
+            return partition.cut_fraction
         return 1.0 - 1.0 / self.cluster.ranks
 
     def run(
@@ -126,6 +147,7 @@ class DistributedBackend(Backend):
         schedule: str | None = None,
         work_queue: bool | None = None,
         update_rule: str = "sum_product",
+        partition: Partition | None = None,
     ) -> RunResult:
         config = self._loopy_config(
             self.paradigm, criterion, schedule, update_rule, work_queue
@@ -134,14 +156,25 @@ class DistributedBackend(Backend):
 
         cluster = self.cluster
         b = graph.n_states
-        cut = self._cut_fraction()
+        if partition is None and self.edge_cut_fraction is None and graph.n_nodes:
+            partition = make_partition(
+                graph,
+                min(cluster.ranks, graph.n_nodes),
+                self.partitioner,
+                seed=self.seed,
+            )
+        cut = self._cut_fraction(partition)
+        # stragglers put the barrier above the mean rank's sweep: use the
+        # partition's measured edge-load imbalance, falling back to the
+        # old ~1.3x degree-tail rule of thumb when nothing was measured
+        straggler = max(partition.balance, 1.0) if partition is not None else 1.3
         gather_bytes = 4.0 * b
         modeled = 0.0
         for sweep in loopy.run_stats.per_iteration:
-            # compute: the sweep's work splits across ranks; stragglers
-            # from the degree tail put the barrier at ~1.3x the mean
+            # compute: the sweep's work splits across ranks up to the
+            # straggler factor
             local = cpu_sweep_time(cluster.cpu, sweep, gather_bytes=gather_bytes)
-            compute = 1.3 * local / cluster.ranks
+            compute = straggler * local / cluster.ranks
             # communication: boundary messages this iteration
             boundary_msgs = sweep.edges_processed * cut
             msg_bytes = boundary_msgs * (b * 4 + 16)
@@ -153,8 +186,6 @@ class DistributedBackend(Backend):
                 + msg_bytes / (cluster.bandwidth * cluster.ranks)
             )
             # convergence all-reduce: log2(ranks) latency steps
-            import math
-
             allreduce = math.ceil(math.log2(max(cluster.ranks, 2))) * cluster.latency
             modeled += max(compute, comm) + allreduce + cluster.per_iteration_overhead
 
@@ -166,5 +197,8 @@ class DistributedBackend(Backend):
             cluster=cluster.name,
             ranks=cluster.ranks,
             edge_cut_fraction=cut,
+            measured_partition=partition is not None,
+            partitioner=partition.method if partition is not None else self.partitioner,
+            shard_balance=partition.balance if partition is not None else None,
             schedule=config.schedule,
         )

@@ -19,9 +19,11 @@ from repro.backends.base import Backend
 from repro.backends.c_backends import CEdgeBackend, CNodeBackend
 from repro.backends.cuda_backends import CudaEdgeBackend, CudaNodeBackend
 from repro.backends.distributed import DistributedBackend
+from repro.backends.multigpu import MultiGpuBackend
 from repro.backends.openacc import OpenACCBackend
 from repro.backends.openmp import OpenMPBackend
 from repro.backends.reference import ReferenceBackend
+from repro.backends.sharded import ShardedCpuBackend
 from repro.core.scheduler import SCHEDULES, normalize_schedule
 
 __all__ = [
@@ -41,6 +43,8 @@ BACKENDS: dict[str, Callable[..., Backend]] = {
     "openmp": OpenMPBackend,
     "openacc": OpenACCBackend,
     "distributed": DistributedBackend,
+    "sharded": ShardedCpuBackend,
+    "cuda-multi": MultiGpuBackend,
 }
 
 #: the four implementations Credo chooses among (§3.7)

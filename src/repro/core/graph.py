@@ -314,7 +314,24 @@ class BeliefGraph:
             self.beliefs.set(i, vec)
 
     def memory_footprint(self) -> dict[str, int]:
-        """Bytes used by the major graph components (for §2.2 analysis)."""
+        """Bytes used by the major graph components (for §2.2 analysis).
+
+        ``metadata`` covers the lazily-built caches — the name → id map
+        and memoized Credo features — which serve capacity accounting
+        must count once they exist (zero until first use).
+        """
+        import sys
+
+        metadata = 0
+        if self._name_to_id is not None:
+            metadata += sys.getsizeof(self._name_to_id)
+            metadata += sum(sys.getsizeof(k) for k in self._name_to_id)
+            metadata += len(self._name_to_id) * 8  # int values, interned-ish
+        if self._feature_cache:
+            metadata += sys.getsizeof(self._feature_cache)
+            metadata += sum(
+                sys.getsizeof(k) + v.nbytes for k, v in self._feature_cache.items()
+            )
         return {
             "beliefs": int(self.beliefs.bytes_per_node() * self.n_nodes),
             "priors": int(self.priors.bytes_per_node() * self.n_nodes),
@@ -324,6 +341,7 @@ class BeliefGraph:
                 + self.in_offsets.nbytes + self.in_edge_ids.nbytes
                 + self.out_offsets.nbytes + self.out_edge_ids.nbytes
             ),
+            "metadata": int(metadata),
         }
 
     def metadata(self) -> dict[str, float]:

@@ -1,43 +1,25 @@
-"""Residual-priority BP (extension; DESIGN.md §6) — compatibility shim.
+"""Deprecated location of :class:`ResidualBP` — import it from
+:mod:`repro.core.scheduler` (or ``repro.core``) instead.
 
-Residual scheduling used to live here as a standalone driver with its own
-result type.  It is now one strategy of the pluggable scheduling layer
-(:mod:`repro.core.scheduler`), run by the unified
-:class:`~repro.core.loopy.LoopyBP` driver: ``ResidualBP`` below is a thin
-alias over ``LoopyBP(paradigm="edge", schedule="residual")`` kept for
-callers of the old entry point.  Results are plain
-:class:`~repro.core.loopy.LoopyResult` objects (which carry the old
-``updates`` counter as a property); ``ResidualResult`` no longer exists.
+Residual scheduling is one strategy of the pluggable scheduling layer
+(DESIGN.md §6/§7), run by the unified
+:class:`~repro.core.loopy.LoopyBP` driver; ``ResidualBP`` is a thin
+alias over ``LoopyBP(paradigm="edge", schedule="residual")`` and now
+lives with the schedules.  This module re-exports it so old imports keep
+working, at the cost of a :class:`DeprecationWarning` on import.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 
-from repro.core.convergence import ConvergenceCriterion
-from repro.core.graph import BeliefGraph
-from repro.core.loopy import LoopyBP, LoopyResult
+from repro.core.scheduler import ResidualBP
 
 __all__ = ["ResidualBP"]
 
-
-@dataclass
-class ResidualBP:
-    """Max-residual edge scheduling (alias over the unified driver).
-
-    Prefer ``LoopyBP(schedule="residual")`` directly; this class survives
-    so existing callers keep working.
-    """
-
-    criterion: ConvergenceCriterion = field(default_factory=ConvergenceCriterion)
-    damping: float = 0.0
-    batch_fraction: float = 0.5
-
-    def run(self, graph: BeliefGraph) -> LoopyResult:
-        return LoopyBP(
-            paradigm="edge",
-            schedule="residual",
-            criterion=self.criterion,
-            damping=self.damping,
-            batch_fraction=self.batch_fraction,
-        ).run(graph)
+warnings.warn(
+    "repro.core.residual is deprecated; import ResidualBP from "
+    "repro.core.scheduler (or repro.core)",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -35,16 +35,33 @@ any policy, with any paradigm, through any backend:
 Every schedule is a small amount of state over a flat priority/activity
 view of the elements (nodes for the per-node paradigm, directed edges
 for the per-edge paradigm); the numerical kernels never change.
+
+Schedules also expose :meth:`Schedule.reactivate` for *external*
+invalidation — elements whose inputs changed outside the driver's own
+sweep.  The sharded driver (:mod:`repro.core.sharded`) uses it after
+each boundary exchange: halo beliefs and ghost messages arriving from
+other shards re-enqueue the owned elements they feed, so a drained shard
+wakes up when its neighbours are still moving.
+
+The §3.5 :class:`WorkQueue` and the legacy :class:`ResidualBP` entry
+point live here too; ``repro.core.workqueue`` and ``repro.core.residual``
+survive only as deprecation re-export shims.
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.convergence import ConvergenceCriterion
 from repro.core.sweepstats import SweepStats
-from repro.core.workqueue import WorkQueue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (loopy imports us)
+    from repro.core.graph import BeliefGraph
+    from repro.core.loopy import LoopyResult
 
 __all__ = [
     "SCHEDULES",
@@ -53,6 +70,8 @@ __all__ = [
     "WorkQueueSchedule",
     "ResidualSchedule",
     "RelaxedPrioritySchedule",
+    "WorkQueue",
+    "ResidualBP",
     "make_schedule",
     "normalize_schedule",
 ]
@@ -80,6 +99,107 @@ def normalize_schedule(name: str) -> str:
     if canonical not in SCHEDULES:
         raise ValueError(f"unknown schedule {name!r}; known: {list(SCHEDULES)}")
     return canonical
+
+
+class WorkQueue:
+    """Iteration-scoped queue of active element indices (paper §3.5).
+
+    "From profiling, we observe that most nodes converge quickly after a
+    few iterations and that graph convergence becomes dependent on a few
+    nodes."  The queue therefore holds only the indices of elements
+    (nodes for the per-node paradigm, directed edges for the per-edge
+    paradigm) that have yet to converge; after every iteration it "clears
+    itself and populates atomically with the indices of elements which
+    have yet to converge to a given threshold".
+
+    One refinement keeps the fixed point *sound*: when an element is
+    still changing, its downstream neighbours are re-enqueued too
+    (otherwise a node that converged early would never observe later
+    changes upstream) — matching how the residual-scheduling literature
+    the paper builds on (Gonzalez et al.) maintains its queues.
+
+    Parameters
+    ----------
+    n_elements:
+        Total number of schedulable elements.
+    element_threshold:
+        An element is considered locally converged when its own delta
+        drops below this value; the loopy driver derives it from the
+        global criterion.
+    """
+
+    def __init__(self, n_elements: int, element_threshold: float):
+        if n_elements < 0:
+            raise ValueError("n_elements must be non-negative")
+        if element_threshold <= 0:
+            raise ValueError("element_threshold must be positive")
+        self.n_elements = n_elements
+        self.element_threshold = float(element_threshold)
+        self._active = np.arange(n_elements, dtype=np.int64)
+        #: cumulative count of queue push operations (cost accounting, §3.5)
+        self.pushes = 0
+        #: cumulative number of repopulation rounds
+        self.rounds = 0
+
+    @property
+    def active(self) -> np.ndarray:
+        """Indices scheduled for the next sweep (sorted, unique)."""
+        return self._active
+
+    def __len__(self) -> int:
+        return len(self._active)
+
+    @property
+    def empty(self) -> bool:
+        return len(self._active) == 0
+
+    def repopulate(
+        self,
+        deltas: np.ndarray,
+        neighbours_of_dirty: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Clear and refill the queue after a sweep.
+
+        ``deltas`` holds the per-element change of every element *processed
+        this sweep* aligned with the previous active set; elements whose
+        delta is still ≥ the threshold stay enqueued.
+        ``neighbours_of_dirty`` optionally adds downstream elements that
+        must be reconsidered because their inputs changed.
+        """
+        if len(deltas) != len(self._active):
+            raise ValueError("deltas must align with the active set")
+        dirty = self._active[deltas >= self.element_threshold]
+        # Dedup via a membership mask: O(n) in C, far cheaper than sorting
+        # the (duplicate-heavy) neighbour list with np.unique.
+        mask = np.zeros(self.n_elements, dtype=bool)
+        mask[dirty] = True
+        if neighbours_of_dirty is not None and len(neighbours_of_dirty):
+            mask[neighbours_of_dirty] = True
+        self._active = np.flatnonzero(mask).astype(np.int64)
+        self.pushes += len(self._active)
+        self.rounds += 1
+        return self._active
+
+    def merge(self, elements: np.ndarray) -> int:
+        """Enqueue ``elements`` (duplicates fine) into the active set
+        without clearing it — the cross-shard reactivation path.  Returns
+        the number of *new* entries."""
+        if not len(elements):
+            return 0
+        mask = np.zeros(self.n_elements, dtype=bool)
+        mask[self._active] = True
+        before = len(self._active)
+        mask[elements] = True
+        self._active = np.flatnonzero(mask).astype(np.int64)
+        added = len(self._active) - before
+        self.pushes += added
+        return added
+
+    def reset(self) -> None:
+        """Re-enqueue every element (start of a run)."""
+        self._active = np.arange(self.n_elements, dtype=np.int64)
+        self.pushes = 0
+        self.rounds = 0
 
 
 class Schedule:
@@ -135,6 +255,19 @@ class Schedule:
         the size of the upstream change (a residual lower bound).
         """
 
+    def reactivate(
+        self, elements: np.ndarray, priorities: np.ndarray | None = None
+    ) -> None:
+        """Re-enqueue elements invalidated from *outside* the sweep.
+
+        The sharded driver calls this after a boundary exchange: halo
+        beliefs / ghost messages that changed upstream re-activate the
+        owned elements they feed, waking a drained shard.  ``priorities``
+        (aligned, optional) carries the upstream change magnitude for the
+        priority schedules.  Synchronous schedules ignore it — they
+        process everything anyway.
+        """
+
     @property
     def drained(self) -> bool:
         """True when every element individually passed its convergence
@@ -172,6 +305,7 @@ class WorkQueueSchedule(Schedule):
         super().__init__(n_elements, element_threshold)
         self.queue = WorkQueue(n_elements, element_threshold)
         self._last_processed = n_elements
+        self._reactivated = 0
 
     @property
     def active(self) -> np.ndarray:
@@ -181,14 +315,19 @@ class WorkQueueSchedule(Schedule):
         self._last_processed = len(processed)
         self.queue.repopulate(deltas, downstream)
 
+    def reactivate(self, elements, priorities=None):
+        self._reactivated += self.queue.merge(np.asarray(elements, dtype=np.int64))
+
     @property
     def drained(self) -> bool:
         return self.queue.empty
 
     def charge(self, stats: SweepStats) -> None:
-        # clear + atomic pushes (§3.5): one compare-and-push per survivor
-        stats.queue_ops += self._last_processed + len(self.queue)
-        stats.atomic_ops += len(self.queue)
+        # clear + atomic pushes (§3.5): one compare-and-push per survivor,
+        # plus any cross-shard reactivations merged since the last sweep
+        stats.queue_ops += self._last_processed + len(self.queue) + self._reactivated
+        stats.atomic_ops += len(self.queue) + self._reactivated
+        self._reactivated = 0
 
 
 class ResidualSchedule(Schedule):
@@ -218,6 +357,7 @@ class ResidualSchedule(Schedule):
         self.priority = np.full(n_elements, np.inf)
         self._last_processed = 0
         self._last_pushes = 0
+        self._reactivated = 0
 
     # -- selection -----------------------------------------------------
     def _eligible(self) -> np.ndarray:
@@ -250,6 +390,19 @@ class ResidualSchedule(Schedule):
             pushes += len(downstream)
         self._last_pushes = pushes
 
+    def reactivate(self, elements, priorities=None):
+        elements = np.asarray(elements, dtype=np.int64)
+        if not len(elements):
+            return
+        if priorities is None:
+            keys = np.full(len(elements), self.element_threshold)
+        else:
+            # clamp to the threshold so a reactivated element is always
+            # eligible, however small the upstream change that woke it
+            keys = np.maximum(np.asarray(priorities, dtype=float), self.element_threshold)
+        np.maximum.at(self.priority, elements, keys)
+        self._reactivated += len(elements)
+
     @property
     def drained(self) -> bool:
         return not bool(np.any(self.priority >= self.element_threshold))
@@ -259,8 +412,10 @@ class ResidualSchedule(Schedule):
         # an atomic-visible compare-exchange — the contention the relaxed
         # literature (Aksenov et al.) removes
         depth = max(1, int(math.ceil(math.log2(max(self.n_elements, 2)))))
-        stats.queue_ops += self._last_processed + self._last_pushes
-        stats.atomic_ops += self._last_pushes * depth
+        pushes = self._last_pushes + self._reactivated
+        stats.queue_ops += self._last_processed + pushes
+        stats.atomic_ops += pushes * depth
+        self._reactivated = 0
 
 
 class RelaxedPrioritySchedule(ResidualSchedule):
@@ -305,8 +460,10 @@ class RelaxedPrioritySchedule(ResidualSchedule):
     def charge(self, stats: SweepStats) -> None:
         # relaxed queues: O(1) per push, no serialized heap root — each
         # push is a single atomic to one of many independent queues
-        stats.queue_ops += self._last_processed + self._last_pushes
-        stats.atomic_ops += self._last_pushes
+        pushes = self._last_pushes + self._reactivated
+        stats.queue_ops += self._last_processed + pushes
+        stats.atomic_ops += pushes
+        self._reactivated = 0
 
 
 def make_schedule(
@@ -335,3 +492,30 @@ def make_schedule(
         relaxation=relaxation,
         seed=seed,
     )
+
+
+@dataclass
+class ResidualBP:
+    """Max-residual edge scheduling (legacy alias over the unified driver).
+
+    Residual scheduling used to live in ``repro.core.residual`` as a
+    standalone driver with its own result type; it is now just
+    ``LoopyBP(paradigm="edge", schedule="residual")``.  This class
+    survives for callers of the old entry point; results are plain
+    :class:`~repro.core.loopy.LoopyResult` objects.
+    """
+
+    criterion: ConvergenceCriterion = field(default_factory=ConvergenceCriterion)
+    damping: float = 0.0
+    batch_fraction: float = 0.5
+
+    def run(self, graph: "BeliefGraph") -> "LoopyResult":
+        from repro.core.loopy import LoopyBP  # deferred: loopy imports us
+
+        return LoopyBP(
+            paradigm="edge",
+            schedule="residual",
+            criterion=self.criterion,
+            damping=self.damping,
+            batch_fraction=self.batch_fraction,
+        ).run(graph)

@@ -1,95 +1,23 @@
-"""Work queues of unconverged elements (paper §3.5).
+"""Deprecated location of :class:`WorkQueue` — import it from
+:mod:`repro.core.scheduler` (or ``repro.core``) instead.
 
-"From profiling, we observe that most nodes converge quickly after a few
-iterations and that graph convergence becomes dependent on a few nodes."
-The queue therefore holds only the indices of elements (nodes for the
-per-node paradigm, directed edges for the per-edge paradigm) that have yet
-to converge; after every iteration it "clears itself and populates
-atomically with the indices of elements which have yet to converge to a
-given threshold".
-
-We add one refinement needed for a *sound* fixed point: when an element is
-still changing, its downstream neighbours are re-enqueued too (otherwise a
-node that converged early would never observe later changes upstream).
-This matches how the residual-scheduling literature the paper builds on
-(Gonzalez et al.) maintains its queues, and it is enabled by default.
+The §3.5 work queue became one strategy of the pluggable scheduling
+layer; the implementation lives next to the schedules that wrap it.
+This module re-exports it so old imports keep working, at the cost of a
+:class:`DeprecationWarning` on import.
 """
 
 from __future__ import annotations
 
-import numpy as np
+import warnings
+
+from repro.core.scheduler import WorkQueue
 
 __all__ = ["WorkQueue"]
 
-
-class WorkQueue:
-    """Iteration-scoped queue of active element indices.
-
-    Parameters
-    ----------
-    n_elements:
-        Total number of schedulable elements.
-    element_threshold:
-        An element is considered locally converged when its own delta drops
-        below this value.  The loopy driver derives it from the global
-        criterion as ``threshold / n_elements`` so that "all elements
-        locally converged" implies the global sum check passes.
-    """
-
-    def __init__(self, n_elements: int, element_threshold: float):
-        if n_elements < 0:
-            raise ValueError("n_elements must be non-negative")
-        if element_threshold <= 0:
-            raise ValueError("element_threshold must be positive")
-        self.n_elements = n_elements
-        self.element_threshold = float(element_threshold)
-        self._active = np.arange(n_elements, dtype=np.int64)
-        #: cumulative count of queue push operations (cost accounting, §3.5)
-        self.pushes = 0
-        #: cumulative number of repopulation rounds
-        self.rounds = 0
-
-    @property
-    def active(self) -> np.ndarray:
-        """Indices scheduled for the next sweep (sorted, unique)."""
-        return self._active
-
-    def __len__(self) -> int:
-        return len(self._active)
-
-    @property
-    def empty(self) -> bool:
-        return len(self._active) == 0
-
-    def repopulate(
-        self,
-        deltas: np.ndarray,
-        neighbours_of_dirty: np.ndarray | None = None,
-    ) -> np.ndarray:
-        """Clear and refill the queue after a sweep.
-
-        ``deltas`` holds the per-element change of every element *processed
-        this sweep* aligned with the previous active set; elements whose
-        delta is still ≥ the threshold stay enqueued.
-        ``neighbours_of_dirty`` optionally adds downstream elements that
-        must be reconsidered because their inputs changed.
-        """
-        if len(deltas) != len(self._active):
-            raise ValueError("deltas must align with the active set")
-        dirty = self._active[deltas >= self.element_threshold]
-        # Dedup via a membership mask: O(n) in C, far cheaper than sorting
-        # the (duplicate-heavy) neighbour list with np.unique.
-        mask = np.zeros(self.n_elements, dtype=bool)
-        mask[dirty] = True
-        if neighbours_of_dirty is not None and len(neighbours_of_dirty):
-            mask[neighbours_of_dirty] = True
-        self._active = np.flatnonzero(mask).astype(np.int64)
-        self.pushes += len(self._active)
-        self.rounds += 1
-        return self._active
-
-    def reset(self) -> None:
-        """Re-enqueue every element (start of a run)."""
-        self._active = np.arange(self.n_elements, dtype=np.int64)
-        self.pushes = 0
-        self.rounds = 0
+warnings.warn(
+    "repro.core.workqueue is deprecated; import WorkQueue from "
+    "repro.core.scheduler (or repro.core)",
+    DeprecationWarning,
+    stacklevel=2,
+)

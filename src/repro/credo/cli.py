@@ -40,6 +40,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-work-queue", action="store_true",
         help="deprecated: same as --schedule sync",
     )
+    run.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="shard-parallel execution over N graph partitions "
+             "(default: selector's choice — only very large graphs shard)",
+    )
+    run.add_argument(
+        "--partitioner", default=None,
+        choices=("hash", "range", "bfs", "greedy"),
+        help="partitioning strategy for --shards (default bfs)",
+    )
     run.add_argument("--top", type=int, default=10, help="print the first N posteriors")
     run.add_argument(
         "--train", action="store_true",
@@ -87,6 +97,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="result-cache entries (0 disables caching)")
     serve.add_argument("--deadline-s", type=float, default=None,
                        help="default per-request deadline")
+    serve.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="partition every registered model N ways and sweep "
+                            "shard-parallel (1 disables)")
+    serve.add_argument("--partitioner", default=None,
+                       choices=("hash", "range", "bfs", "greedy"),
+                       help="partitioning strategy for --shards (default bfs)")
+    serve.add_argument("--shard-threads", type=int, default=None,
+                       help="shard-sweep worker threads (default: --shards)")
     serve.add_argument("--stats", action="store_true",
                        help="print a metrics snapshot on exit")
 
@@ -131,6 +149,9 @@ def _cmd_serve(args) -> int:
         batch_window_s=args.batch_window_ms / 1000.0,
         cache_capacity=args.cache_capacity,
         default_deadline_s=args.deadline_s,
+        shards=args.shards,
+        partitioner=args.partitioner,
+        shard_threads=args.shard_threads,
     )
     server = InferenceServer(config)
     try:
@@ -269,9 +290,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     if args.train:
         credo.train(profile="smoke", use_cases=("binary",))
-    result = credo.run_file(args.path, args.edge_path, backend=args.backend)
+    result = credo.run_file(
+        args.path, args.edge_path, backend=args.backend,
+        shards=args.shards, partitioner=args.partitioner,
+    )
     print(f"backend       {result.backend}")
     print(f"schedule      {result.detail.get('schedule', '-')}")
+    if "n_shards" in result.detail or "n_devices" in result.detail:
+        shards = result.detail.get("n_shards", result.detail.get("n_devices"))
+        print(f"shards        {shards} ({result.detail.get('partitioner', '-')}, "
+              f"cut {result.detail.get('cut_fraction', 0.0):.3f})")
     print(f"iterations    {result.iterations}")
     print(f"converged     {result.converged}")
     print(f"wall time     {result.wall_time:.4f}s")

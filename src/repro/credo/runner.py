@@ -37,20 +37,41 @@ class ExecutionPlan:
     *registered graph* instead of per query: :meth:`Credo.plan` runs the
     selection once and every subsequent :meth:`Credo.run` with ``plan=``
     skips feature extraction and classification entirely.
+
+    ``shards > 1`` freezes a sharded execution: the graph is split by
+    ``partitioner`` and swept shard-parallel (DESIGN.md §9) on the
+    platform the selected backend implies.
     """
 
     backend: str
     schedule: str
+    shards: int = 1
+    partitioner: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
 
     @property
     def paradigm(self) -> str:
-        """``"node"`` or ``"edge"``, from the backend name."""
-        return self.backend.rsplit("-", 1)[-1]
+        """``"node"`` or ``"edge"``, from the backend name.  Backends
+        whose names carry no paradigm suffix (``cuda-multi``,
+        ``sharded``, ``reference``, …) sweep per node."""
+        tail = self.backend.rsplit("-", 1)[-1]
+        return tail if tail in ("node", "edge") else "node"
+
+    @property
+    def sharded(self) -> bool:
+        return self.shards > 1
 
     @property
     def qualified(self) -> str:
-        """The ``"<backend>:<schedule>"`` registry-style name."""
-        return f"{self.backend}:{self.schedule}"
+        """The ``"<backend>:<schedule>"`` registry-style name; sharded
+        plans carry an ``@<shards>x<partitioner>`` suffix."""
+        base = f"{self.backend}:{self.schedule}"
+        if self.sharded:
+            return f"{base}@{self.shards}x{self.partitioner or 'bfs'}"
+        return base
 
 
 class Credo:
@@ -88,6 +109,9 @@ class Credo:
             "cuda-node": CudaNodeBackend(self.device),
             "cuda-edge": CudaEdgeBackend(self.device),
         }
+        # shard-parallel engines, built lazily per (backend, shards,
+        # partitioner) the first time a sharded plan executes
+        self._sharded: dict[tuple, Backend] = {}
 
     @classmethod
     def from_server_config(cls, config: "ServerConfig") -> "Credo":
@@ -159,17 +183,65 @@ class Credo:
             return self.schedule
         return self.selector.select_schedule(graph, backend or self.select(graph))
 
-    def plan(self, graph: BeliefGraph, *, backend: str | None = None) -> ExecutionPlan:
+    def plan(
+        self,
+        graph: BeliefGraph,
+        *,
+        backend: str | None = None,
+        shards: int | None = None,
+        partitioner: str | None = None,
+    ) -> ExecutionPlan:
         """Run selection once and freeze the decision for reuse.
 
         The returned :class:`ExecutionPlan` can be passed to :meth:`run`
         (any number of times, e.g. once per served query) to skip
         re-selection; ``backend=`` pins the backend and only the schedule
-        is chosen.
+        is chosen.  ``shards=`` pins the shard count (1 disables);
+        ``None`` asks the selector, which only shards very large graphs
+        (:data:`~repro.credo.selector.SHARD_AUTO_MIN_EDGES`).
         """
         base_name, _, qualifier = (backend or self.select(graph)).partition(":")
         schedule = qualifier or self.select_schedule(graph, base_name)
-        return ExecutionPlan(backend=base_name, schedule=schedule)
+        if shards is None:
+            shards = self.selector.select_sharding(graph)
+        if shards > 1 and not graph.uniform:
+            raise ValueError("sharded execution requires a uniform graph")
+        return ExecutionPlan(
+            backend=base_name,
+            schedule=schedule,
+            shards=shards,
+            partitioner=(partitioner or "bfs") if shards > 1 else partitioner,
+        )
+
+    def _sharded_backend(self, plan: ExecutionPlan) -> Backend:
+        """The shard-parallel engine a sharded plan executes on, cached.
+
+        The platform follows the selected backend: CUDA selections run
+        one simulated device per shard (:class:`MultiGpuBackend`), CPU
+        selections a thread-pool :class:`ShardedCpuBackend`.
+        """
+        key = (plan.backend, plan.shards, plan.partitioner)
+        engine = self._sharded.get(key)
+        if engine is None:
+            from repro.backends.multigpu import MultiGpuBackend
+            from repro.backends.sharded import ShardedCpuBackend
+
+            partitioner = plan.partitioner or "bfs"
+            if plan.backend.startswith("cuda"):
+                engine = MultiGpuBackend(
+                    self.device,
+                    n_devices=plan.shards,
+                    partitioner=partitioner,
+                    paradigm=plan.paradigm,
+                )
+            else:
+                engine = ShardedCpuBackend(
+                    n_shards=plan.shards,
+                    partitioner=partitioner,
+                    paradigm=plan.paradigm,
+                )
+            self._sharded[key] = engine
+        return engine
 
     def run(
         self,
@@ -178,6 +250,8 @@ class Credo:
         backend: str | None = None,
         schedule: str | None = None,
         plan: ExecutionPlan | None = None,
+        shards: int | None = None,
+        partitioner: str | None = None,
     ) -> RunResult:
         """Select (or honour ``backend=``/``schedule=``/``plan=``) and
         execute BP.
@@ -186,10 +260,25 @@ class Credo:
         in which case the qualifier wins unless ``schedule=`` is given.
         ``plan`` short-circuits selection entirely (amortized serving
         path); it is mutually exclusive with the other two.
+        ``shards``/``partitioner`` request shard-parallel execution
+        (equivalent to planning with the same values).
         """
         if plan is not None:
-            if backend is not None or schedule is not None:
-                raise ValueError("plan= is mutually exclusive with backend=/schedule=")
+            if backend is not None or schedule is not None or shards is not None:
+                raise ValueError(
+                    "plan= is mutually exclusive with backend=/schedule=/shards="
+                )
+        elif shards is not None and shards > 1:
+            plan = self.plan(graph, backend=backend, shards=shards,
+                             partitioner=partitioner)
+        if plan is not None:
+            if plan.sharded:
+                engine = self._sharded_backend(plan)
+                result = engine.run(
+                    graph, criterion=self.criterion, schedule=plan.schedule
+                )
+                result.detail["selected"] = plan.backend
+                return result
             backend, schedule = plan.backend, plan.schedule
         name = backend or self.select(graph)
         base_name, _, qualifier = name.partition(":")
@@ -230,7 +319,11 @@ class Credo:
         edge_path: str | Path | None = None,
         *,
         backend: str | None = None,
+        shards: int | None = None,
+        partitioner: str | None = None,
     ) -> RunResult:
         """Load a graph file (BIF / XML-BIF / MTX dual-file) and run it."""
         graph = load_graph(path, edge_path)
-        return self.run(graph, backend=backend)
+        return self.run(
+            graph, backend=backend, shards=shards, partitioner=partitioner
+        )

@@ -24,7 +24,12 @@ from repro.credo.rules import LARGE_GRAPH_NODES, SMALL_GRAPH_NODES
 from repro.credo.training import TrainingRow
 from repro.ml.forest import RandomForestClassifier
 
-__all__ = ["CredoSelector", "cuda_pivot_nodes"]
+__all__ = ["CredoSelector", "SHARD_AUTO_MIN_EDGES", "cuda_pivot_nodes"]
+
+#: below this many directed edges sharding is pure overhead: the per-round
+#: exchange + barrier dwarfs what shard parallelism saves, so the
+#: automatic path keeps small graphs on the single-engine fast path
+SHARD_AUTO_MIN_EDGES = 500_000
 
 
 def cuda_pivot_nodes(n_beliefs: int) -> float:
@@ -121,6 +126,20 @@ class CredoSelector:
         if not heavy_tail:
             return "work_queue"
         return "relaxed" if backend.startswith("cuda") else "residual"
+
+    def select_sharding(self, graph: BeliefGraph, *, max_shards: int = 8) -> int:
+        """How many shards to split ``graph`` into (1 = don't shard).
+
+        Deliberately conservative: sharding only pays once a graph is
+        large enough that per-shard sweeps dominate the boundary exchange
+        and barrier, so anything under :data:`SHARD_AUTO_MIN_EDGES`
+        directed edges (and every heterogeneous network) stays on the
+        existing single-engine path unchanged.  Beyond that, one extra
+        shard per ~:data:`SHARD_AUTO_MIN_EDGES` edges, capped.
+        """
+        if not graph.uniform or graph.n_edges < SHARD_AUTO_MIN_EDGES:
+            return 1
+        return int(min(max_shards, max(2, graph.n_edges // SHARD_AUTO_MIN_EDGES)))
 
     def select_full(self, graph: BeliefGraph) -> str:
         """Schedule-qualified selection, ``"<backend>:<schedule>"``."""

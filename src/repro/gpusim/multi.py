@@ -1,0 +1,184 @@
+"""Multi-GPU cost simulation: per-shard devices + interconnect exchange.
+
+Extends the single-device simulator (DESIGN.md §5) to the sharded
+execution model of §9: each shard's kernels run on its own
+:class:`~repro.gpusim.device.GpuDevice`, devices advance in lockstep
+(bulk-synchronous rounds — the slowest device sets the round time), and
+boundary payloads move over a modeled device-to-device interconnect
+instead of PCIe-to-host.
+
+Two interconnect presets bracket the design space the multi-GPU BP
+literature cares about:
+
+``NVLINK``
+    NVLink 2.0-class peer links: ~25 GB/s per direction per link,
+    microsecond-scale latency.  Exchange is rarely the bottleneck.
+
+``PCIE_P2P``
+    PCIe 3.0 x16 peer-to-peer: ~11 GB/s shared, higher latency.  On
+    high-cut partitions the exchange term becomes visible — which is
+    exactly why the partition layer measures cut fractions instead of
+    assuming them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.sweepstats import SweepStats
+from repro.gpusim.arch import DeviceSpec, get_device
+from repro.gpusim.device import GpuDevice
+
+__all__ = [
+    "INTERCONNECTS",
+    "InterconnectSpec",
+    "MultiGpuDevice",
+    "NVLINK",
+    "PCIE_P2P",
+    "get_interconnect",
+]
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """One device-to-device link's cost parameters."""
+
+    name: str
+    #: per-exchange-round fixed latency, seconds
+    latency: float
+    #: peer bandwidth per device, bytes/second
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.bandwidth <= 0:
+            raise ValueError("bad interconnect parameters")
+
+
+NVLINK = InterconnectSpec("nvlink", latency=1.8e-6, bandwidth=25e9)
+PCIE_P2P = InterconnectSpec("pcie-p2p", latency=5.0e-6, bandwidth=11e9)
+
+INTERCONNECTS: dict[str, InterconnectSpec] = {
+    "nvlink": NVLINK,
+    "pcie": PCIE_P2P,
+    "pcie-p2p": PCIE_P2P,
+}
+
+
+def get_interconnect(spec: InterconnectSpec | str) -> InterconnectSpec:
+    """Resolve a name or pass a spec through."""
+    if isinstance(spec, InterconnectSpec):
+        return spec
+    try:
+        return INTERCONNECTS[spec]
+    except KeyError:
+        raise KeyError(
+            f"unknown interconnect {spec!r}; known: {sorted(INTERCONNECTS)}"
+        ) from None
+
+
+class MultiGpuDevice:
+    """``n_devices`` simulated GPUs advancing in bulk-synchronous lockstep.
+
+    ``elapsed`` is the modeled *wall clock*: per phase, the slowest
+    device's time (devices work concurrently), plus the interconnect
+    exchanges, which are charged globally.  Each member device also keeps
+    its own private clock and breakdown for straggler analysis.
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec | str = "gtx1070",
+        *,
+        n_devices: int = 2,
+        interconnect: InterconnectSpec | str = NVLINK,
+    ):
+        if n_devices < 1:
+            raise ValueError("n_devices must be at least 1")
+        self.spec = get_device(spec)
+        self.interconnect = get_interconnect(interconnect)
+        self.devices = [GpuDevice(self.spec) for _ in range(n_devices)]
+        # contexts initialize concurrently across devices: wall time is
+        # one context_init, not n of them
+        self.elapsed = self.spec.context_init_seconds
+        self.exchange_time = 0.0
+        self.exchange_bytes = 0
+        self.exchange_rounds = 0
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.devices)
+
+    # ------------------------------------------------------------------
+    def lockstep(self, fns: Sequence[Callable[[GpuDevice], object] | None]) -> float:
+        """Run one per-device operation on each device's private clock and
+        advance the wall clock by the slowest; returns that round time."""
+        if len(fns) != len(self.devices):
+            raise ValueError("one operation per device required")
+        dt = 0.0
+        for device, fn in zip(self.devices, fns):
+            if fn is None:
+                continue
+            before = device.elapsed
+            fn(device)
+            dt = max(dt, device.elapsed - before)
+        self.elapsed += dt
+        return dt
+
+    def launch_round(
+        self,
+        stats: Sequence[SweepStats | None],
+        *,
+        threads_per_block: int = 1024,
+        random_access_bytes: float | None = None,
+    ) -> float:
+        """One bulk-synchronous sweep round: every device launches its
+        shard's kernels; the straggler sets the round time."""
+        return self.lockstep(
+            [
+                (
+                    None
+                    if s is None
+                    else (
+                        lambda d, s=s: d.launch(
+                            s,
+                            threads_per_block=threads_per_block,
+                            random_access_bytes=random_access_bytes,
+                        )
+                    )
+                )
+                for s in stats
+            ]
+        )
+
+    def exchange(self, total_bytes: float, max_device_bytes: float | None = None) -> float:
+        """One boundary-exchange round over the interconnect.
+
+        Peer transfers post concurrently; the heaviest device's in+out
+        traffic bounds the round (``max_device_bytes``, defaulting to an
+        even split of ``total_bytes``).
+        """
+        if max_device_bytes is None:
+            max_device_bytes = total_bytes / max(self.n_devices, 1)
+        dt = self.interconnect.latency + max_device_bytes / self.interconnect.bandwidth
+        self.elapsed += dt
+        self.exchange_time += dt
+        self.exchange_bytes += int(total_bytes)
+        self.exchange_rounds += 1
+        return dt
+
+    @property
+    def compute_elapsed(self) -> float:
+        """Wall-clock seconds excluding interconnect exchange."""
+        return self.elapsed - self.exchange_time
+
+    @property
+    def exchange_fraction(self) -> float:
+        """Share of the modeled wall clock spent in boundary exchange."""
+        return self.exchange_time / self.elapsed if self.elapsed > 0 else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiGpuDevice(n={self.n_devices}, spec={self.spec.name!r}, "
+            f"interconnect={self.interconnect.name!r}, elapsed={self.elapsed:.6f})"
+        )

@@ -1,0 +1,33 @@
+"""Graph partitioning: node → shard maps with measured cut/balance stats.
+
+The partition layer (DESIGN.md §9) turns the distributed/sharded story
+from *assumed* quantities (the old ``edge_cut_fraction`` knob) into
+*measured* ones: every partitioner returns a
+:class:`~repro.partition.partitioners.Partition` whose cut fraction and
+shard balance are computed on the actual graph, and every consumer —
+``ShardedLoopyBP``, the distributed cost model, the multi-GPU simulator,
+Credo's selector and the serving layer — reads those numbers instead of
+guessing.
+"""
+
+from repro.partition.partitioners import (
+    PARTITIONERS,
+    Partition,
+    bfs_partition,
+    greedy_partition,
+    hash_partition,
+    make_partition,
+    normalize_partitioner,
+    range_partition,
+)
+
+__all__ = [
+    "PARTITIONERS",
+    "Partition",
+    "bfs_partition",
+    "greedy_partition",
+    "hash_partition",
+    "make_partition",
+    "normalize_partitioner",
+    "range_partition",
+]

@@ -48,6 +48,15 @@ class ServerConfig:
     default_deadline_s:
         Deadline applied to requests that do not carry their own;
         ``None`` means no deadline.
+    shards, partitioner:
+        Shard-parallel execution (DESIGN.md §9): every registered model
+        is partitioned ``shards`` ways at registration time and queries
+        sweep the shards on a thread pool.  ``shards=1`` (default)
+        disables sharding; ``shards=None`` lets the selector decide per
+        graph (it only shards very large ones).
+    shard_threads:
+        Worker threads in the engine's shard pool; ``None`` sizes it to
+        the largest registered shard count.
     """
 
     device: str = "gtx1070"
@@ -60,6 +69,9 @@ class ServerConfig:
     batch_window_s: float = 0.002
     cache_capacity: int = 256
     default_deadline_s: float | None = None
+    shards: int | None = 1
+    partitioner: str | None = None
+    shard_threads: int | None = None
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:
@@ -72,6 +84,14 @@ class ServerConfig:
             raise ValueError("cache_capacity must be non-negative")
         if self.default_deadline_s is not None and self.default_deadline_s < 0:
             raise ValueError("default_deadline_s must be non-negative")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError("shards must be at least 1 (or None for auto)")
+        if self.shard_threads is not None and self.shard_threads < 1:
+            raise ValueError("shard_threads must be at least 1")
+        if self.partitioner is not None:
+            from repro.partition import normalize_partitioner
+
+            normalize_partitioner(self.partitioner)  # raises on unknown
 
     def criterion(self) -> ConvergenceCriterion:
         """The convergence criterion every served query runs under."""

@@ -49,6 +49,10 @@ class RegisteredModel:
     load_time_s: float = 0.0
     select_time_s: float = 0.0
     registered_at: float = field(default_factory=time.time)
+    #: the partitioned master (``repro.core.sharded.ShardedGraph``) when
+    #: the plan is sharded — built once at registration, queries take
+    #: cheap :meth:`~repro.core.sharded.ShardedGraph.instance` views
+    sharded: Any = None
     #: per-batch-width replica graphs, reused across micro-batches
     #: (managed by the engine; dropped on reload)
     union_cache: dict[int, Any] = field(default_factory=dict)
@@ -57,7 +61,7 @@ class RegisteredModel:
 
     def describe(self) -> dict:
         """Plain-dict summary (the ``{"op": "models"}`` response)."""
-        return {
+        info = {
             "name": self.name,
             "generation": self.generation,
             "n_nodes": int(self.graph.n_nodes),
@@ -69,14 +73,32 @@ class RegisteredModel:
             "load_time_s": self.load_time_s,
             "select_time_s": self.select_time_s,
         }
+        if self.sharded is not None:
+            part = self.sharded.partition
+            info.update(
+                shards=int(self.sharded.n_shards),
+                partitioner=part.method,
+                cut_fraction=float(part.cut_fraction),
+                shard_balance=float(part.balance),
+            )
+        return info
 
 
 class ModelRegistry:
     """Thread-safe name → :class:`RegisteredModel` map."""
 
-    def __init__(self, credo: Credo, *, backend: str | None = None):
+    def __init__(
+        self,
+        credo: Credo,
+        *,
+        backend: str | None = None,
+        shards: int | None = 1,
+        partitioner: str | None = None,
+    ):
         self._credo = credo
         self._backend = backend  # optional pin forwarded to Credo.plan
+        self._shards = shards  # 1 = never shard, None = selector decides
+        self._partitioner = partitioner
         self._models: dict[str, RegisteredModel] = {}
         self._lock = threading.Lock()
         self._generation = 0
@@ -107,7 +129,22 @@ class ModelRegistry:
             )
         start = time.perf_counter()
         features = extract_features(graph)
-        plan = self._credo.plan(graph, backend=self._backend)
+        plan = self._credo.plan(
+            graph,
+            backend=self._backend,
+            # sharding needs uniform beliefs; heterogeneous networks fall
+            # back to the single-engine path rather than failing to load
+            shards=self._shards if graph.uniform else 1,
+            partitioner=self._partitioner,
+        )
+        sharded = None
+        if plan.sharded:
+            # partition once, here — every query takes an instance() view
+            from repro.core.sharded import ShardedGraph
+
+            sharded = ShardedGraph.build(
+                graph, n_shards=plan.shards, method=plan.partitioner or "bfs"
+            )
         select_time = time.perf_counter() - start
         with self._lock:
             self._generation += 1
@@ -118,6 +155,7 @@ class ModelRegistry:
                 features=features,
                 generation=self._generation,
                 select_time_s=select_time,
+                sharded=sharded,
             )
             self._models[name] = model
         return model

@@ -48,7 +48,12 @@ class InferenceServer:
         self.credo = credo or Credo.from_server_config(self.config)
         self.metrics = ServerMetrics()
         self.cache = ResultCache(self.config.cache_capacity)
-        self.registry = ModelRegistry(self.credo, backend=self.config.backend)
+        self.registry = ModelRegistry(
+            self.credo,
+            backend=self.config.backend,
+            shards=self.config.shards,
+            partitioner=self.config.partitioner,
+        )
         self.engine = QueryEngine(self.credo, self.cache, self.metrics, self.config)
         self.admission = AdmissionQueue(self.config.queue_capacity)
         self.metrics.queue_depth_fn = self.admission.depth
@@ -74,6 +79,7 @@ class InferenceServer:
         if self._worker is not None:
             self._worker.join(timeout)
             self._worker = None
+        self.engine.close()
 
     def __enter__(self) -> "InferenceServer":
         self.start()

@@ -133,8 +133,16 @@ class TestState:
             _priors(10), np.array([[0, 1], [1, 2]]), attractive_potential(2, 0.8)
         )
         fp = g.memory_footprint()
-        assert set(fp) == {"beliefs", "priors", "potentials", "adjacency"}
-        assert all(v > 0 for v in fp.values())
+        assert set(fp) == {"beliefs", "priors", "potentials", "adjacency", "metadata"}
+        assert all(v > 0 for k, v in fp.items() if k != "metadata")
+        # the lazy caches are empty until first use, then counted
+        assert fp["metadata"] == 0
+        g.node_id("3")  # builds the name -> id map
+        g._feature_cache["features"] = np.zeros(5, dtype=np.float64)
+        fp2 = g.memory_footprint()
+        assert fp2["metadata"] > 0
+        for key in ("beliefs", "priors", "potentials", "adjacency"):
+            assert fp2[key] == fp[key]
 
     def test_node_names_default_and_custom(self):
         g = BeliefGraph.from_undirected(
