@@ -1,0 +1,49 @@
+"""repro.analysis: project-aware static checker + shard race detector.
+
+Two complementary halves:
+
+* :mod:`repro.analysis.framework` + :mod:`repro.analysis.rules` — an
+  AST lint pass with rules that encode *this repo's* invariants
+  (epsilon-clamped logs and divisions, serve-layer lock discipline,
+  registry-resolvable backend qualifiers, live ``LoopyConfig`` kwargs).
+  Run it as ``python -m repro.analysis src`` or ``credo lint``.
+* :mod:`repro.analysis.races` — a dynamic lockset/epoch race detector
+  that instruments :class:`~repro.core.sharded.ShardedLoopyBP` state
+  arrays and reports unsynchronized same-epoch accesses from different
+  threads.
+"""
+
+from repro.analysis.framework import (
+    AnalysisResult,
+    Analyzer,
+    Finding,
+    Module,
+    Rule,
+    all_rules,
+    apply_baseline,
+    load_baseline,
+    register,
+    render_json,
+    render_text,
+    write_baseline,
+)
+from repro.analysis.races import Access, RaceDetector, RaceError, TrackedArray
+
+__all__ = [
+    "Analyzer",
+    "AnalysisResult",
+    "Finding",
+    "Module",
+    "Rule",
+    "register",
+    "all_rules",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+    "render_text",
+    "render_json",
+    "RaceDetector",
+    "RaceError",
+    "TrackedArray",
+    "Access",
+]

@@ -1,0 +1,289 @@
+"""Dynamic lockset-style race detector for sharded BP execution.
+
+Static rules can't see whether two shard sweeps actually touch
+overlapping rows, so this module instruments the live arrays instead:
+:class:`TrackedArray` wraps a ``LoopyState`` array and logs every
+``__getitem__`` / ``__setitem__`` with the accessing thread, the rows
+touched, the locks held, and the current *epoch*.
+
+The epoch is what makes the classic Eraser lockset algorithm usable on
+fork-join code: :class:`~repro.core.sharded.ShardedLoopyBP` alternates
+parallel shard sweeps with a serial boundary exchange, separated by
+``pool.map``'s implicit barrier.  Accesses on opposite sides of a
+barrier are ordered by it and can never race, so the runner calls
+:meth:`RaceDetector.on_phase` at each barrier and the detector bumps a
+global epoch counter.  A pair of accesses is then a race iff:
+
+* different threads, same epoch (no barrier between them),
+* same array, intersecting rows, at least one write,
+* empty lockset intersection (no common lock held).
+
+Usage (also wired through ``QueryEngine.instrument``)::
+
+    det = RaceDetector()
+    result = ShardedLoopyBP(cfg, pool=pool, instrument=det).run(sharded)
+    det.assert_race_free()
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Access", "RaceDetector", "RaceError", "TrackedArray"]
+
+#: row sets larger than this are summarized as "whole array" (None)
+_MAX_ROWSET = 1024
+
+
+def _normalize_rows(key, length: int) -> frozenset[int] | None:
+    """First-axis rows touched by an indexing key; None = possibly all."""
+    if isinstance(key, tuple):
+        if not key:
+            return None
+        key = key[0]
+    if key is Ellipsis or key is None:
+        return None
+    if isinstance(key, (int, np.integer)):
+        return frozenset({int(key) % max(length, 1)})
+    if isinstance(key, slice):
+        start, stop, step = key.indices(length)
+        span = range(start, stop, step)
+        if len(span) > _MAX_ROWSET:
+            return None
+        return frozenset(span)
+    if isinstance(key, (list, np.ndarray)):
+        arr = np.asarray(key)
+        if arr.dtype == bool:
+            arr = np.flatnonzero(arr)
+        if arr.ndim != 1 or arr.size > _MAX_ROWSET:
+            return None
+        return frozenset(int(i) % max(length, 1) for i in arr)
+    return None
+
+
+def _rows_intersect(a: frozenset[int] | None, b: frozenset[int] | None) -> bool:
+    if a is None or b is None:
+        return True  # "possibly whole array" overlaps everything
+    return bool(a & b)
+
+
+@dataclass(frozen=True)
+class Access:
+    """One logged read or write of a tracked array."""
+
+    seq: int
+    array: str
+    rows: frozenset[int] | None
+    write: bool
+    thread: int
+    epoch: int
+    locks: frozenset[str]
+    site: str = ""
+
+    def describe(self) -> str:
+        kind = "write" if self.write else "read"
+        rows = (
+            "rows{all}"
+            if self.rows is None
+            else "rows{" + ",".join(str(r) for r in sorted(self.rows)[:8]) + "}"
+        )
+        where = f" at {self.site}" if self.site else ""
+        return f"{kind} of {self.array} {rows} [thread {self.thread}, epoch {self.epoch}]{where}"
+
+
+class TrackedArray(np.ndarray):
+    """ndarray view that reports row-level accesses to a detector.
+
+    Indexing returns plain ``np.ndarray`` (tracking covers the shared
+    state array itself, not derived temporaries), so downstream kernel
+    math runs at native speed.
+    """
+
+    def __new__(cls, arr: np.ndarray, detector: "RaceDetector", name: str):
+        obj = np.asarray(arr).view(cls)
+        obj._detector = detector
+        obj._name = name
+        return obj
+
+    def __array_finalize__(self, obj):
+        # ufunc results / implicit views do not inherit tracking
+        if not hasattr(self, "_detector"):
+            self._detector = None
+            self._name = ""
+
+    def __getitem__(self, key):
+        det = self._detector
+        if det is not None:
+            det._record(self._name, _normalize_rows(key, len(self)), write=False)
+        out = super().__getitem__(key)
+        if isinstance(out, np.ndarray):
+            out = out.view(np.ndarray)
+        return out
+
+    def __setitem__(self, key, value):
+        det = self._detector
+        if det is not None:
+            det._record(self._name, _normalize_rows(key, len(self)), write=True)
+        super().__setitem__(key, value)
+
+
+class RaceError(RuntimeError):
+    """Raised by :meth:`RaceDetector.assert_race_free`; carries the pairs."""
+
+    def __init__(self, races: list[tuple[Access, Access]]):
+        self.races = races
+        lines = [f"{len(races)} unsynchronized access pair(s):"]
+        lines.extend(f"  {a.describe()}  <->  {b.describe()}" for a, b in races[:20])
+        super().__init__("\n".join(lines))
+
+
+@dataclass
+class _HeldLock:
+    """Real lock + lockset bookkeeping, handed out by :meth:`RaceDetector.lock`."""
+
+    detector: "RaceDetector"
+    name: str
+    real: threading.Lock = field(default_factory=threading.Lock)
+
+    def __enter__(self) -> "_HeldLock":
+        self.real.acquire()
+        self.detector._held().add(self.name)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detector._held().discard(self.name)
+        self.real.release()
+
+
+class RaceDetector:
+    """Collects :class:`Access` logs and reports lockset violations."""
+
+    def __init__(self, capture_sites: bool = True):
+        self.capture_sites = capture_sites
+        self._meta = threading.Lock()
+        self._accesses: list[Access] = []
+        self._epoch = 0
+        self._phase = "start"
+        self._locks: dict[str, _HeldLock] = {}
+        self._local = threading.local()
+
+    # -- instrumentation hooks (ShardedLoopyBP protocol) ----------------
+    def on_states(self, states) -> None:
+        """Swap each shard state's hot arrays for tracked views.
+
+        Also opens a fresh epoch: a new run starting is itself a
+        happens-after edge (the engine finishes one query before the
+        next), so its accesses must not share an epoch with the
+        previous run's tail.
+        """
+        self.on_phase("run-start")
+        for i, st in enumerate(states):
+            st.beliefs = self.track(st.beliefs, f"shard{i}.beliefs")
+            st.messages = self.track(st.messages, f"shard{i}.messages")
+
+    def on_phase(self, label: str) -> None:
+        """A barrier was crossed: accesses before/after can't race."""
+        with self._meta:
+            self._epoch += 1
+            self._phase = label
+
+    next_epoch = on_phase  # alias for hand-driven tests
+
+    # -- public API ------------------------------------------------------
+    def track(self, arr: np.ndarray, name: str) -> TrackedArray:
+        return TrackedArray(arr, self, name)
+
+    def lock(self, name: str = "lock") -> _HeldLock:
+        """A named lock; accesses under ``with det.lock(n):`` share n."""
+        with self._meta:
+            return self._locks.setdefault(name, _HeldLock(self, name))
+
+    @property
+    def epoch(self) -> int:
+        with self._meta:
+            return self._epoch
+
+    @property
+    def n_accesses(self) -> int:
+        return len(self._accesses)
+
+    def clear(self) -> None:
+        with self._meta:
+            self._accesses.clear()
+
+    def check(self) -> list[tuple[Access, Access]]:
+        """All racing pairs (see module docstring for the predicate)."""
+        with self._meta:
+            accesses = list(self._accesses)
+        groups: dict[tuple[str, int], list[Access]] = {}
+        for acc in accesses:
+            groups.setdefault((acc.array, acc.epoch), []).append(acc)
+        races: list[tuple[Access, Access]] = []
+        seen: set[frozenset[int]] = set()
+        for group in groups.values():
+            writes = [a for a in group if a.write]
+            if not writes:
+                continue
+            for w in writes:
+                for other in group:
+                    if other.thread == w.thread:
+                        continue
+                    pair_id = frozenset((w.seq, other.seq))
+                    if pair_id in seen:
+                        continue
+                    if not _rows_intersect(w.rows, other.rows):
+                        continue
+                    if w.locks & other.locks:
+                        continue
+                    seen.add(pair_id)
+                    races.append((w, other))
+        races.sort(key=lambda pair: (pair[0].seq, pair[1].seq))
+        return races
+
+    def report(self) -> str:
+        races = self.check()
+        if not races:
+            return f"race-free: {self.n_accesses} access(es), {self.epoch + 1} epoch(s)"
+        return str(RaceError(races))
+
+    def assert_race_free(self) -> None:
+        races = self.check()
+        if races:
+            raise RaceError(races)
+
+    # -- internals -------------------------------------------------------
+    def _held(self) -> set[str]:
+        held = getattr(self._local, "held", None)
+        if held is None:
+            held = self._local.held = set()
+        return held
+
+    def _site(self) -> str:
+        if not self.capture_sites:
+            return ""
+        try:
+            frame = sys._getframe(3)
+            return f"{frame.f_code.co_filename.rsplit('/', 1)[-1]}:{frame.f_lineno}"
+        except ValueError:
+            return ""
+
+    def _record(self, name: str, rows: frozenset[int] | None, write: bool) -> None:
+        site = self._site()
+        locks = frozenset(self._held())
+        with self._meta:
+            self._accesses.append(
+                Access(
+                    seq=len(self._accesses),
+                    array=name,
+                    rows=rows,
+                    write=write,
+                    thread=threading.get_ident(),
+                    epoch=self._epoch,
+                    locks=locks,
+                    site=site,
+                )
+            )

@@ -1,0 +1,212 @@
+"""Concurrency-discipline rules (RPR2xx).
+
+The serving layer (engine, admission queue, metrics, result cache,
+model registry) follows one convention: every class that owns a
+``threading.Lock`` / ``RLock`` / ``Condition`` attribute touches its
+lock-guarded state only inside ``with self.<lock>:`` blocks.  RPR201
+infers the guarded attribute set per class (anything *stored* under the
+lock) and flags any access to those attributes outside a lock block.
+Helper methods that document themselves as running with the lock held
+("caller holds lock" in the docstring) are exempt.
+
+RPR202 catches the classic thread-pool bug: submitting a lambda (or a
+nested function) that closes over the loop variable — by the time the
+worker runs, every submission sees the final iteration's value.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Finding, Module, Rule, register
+
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+_HELD_MARKERS = ("caller holds lock", "lock held", "caller holds the lock", "with the lock held")
+
+
+def _lock_attrs(cls: ast.ClassDef) -> set[str]:
+    """``self.X`` attributes assigned a threading primitive in this class."""
+    locks: set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        func = node.value.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name not in _LOCK_FACTORIES:
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                locks.add(target.attr)
+    return locks
+
+
+def _is_lock_with(item: ast.withitem, locks: set[str]) -> bool:
+    expr = item.context_expr
+    return (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and expr.attr in locks
+    )
+
+
+def _documented_lock_held(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    doc = ast.get_docstring(func) or ""
+    doc = doc.lower()
+    return any(marker in doc for marker in _HELD_MARKERS)
+
+
+class _AccessVisitor(ast.NodeVisitor):
+    """Collect self-attribute accesses tagged with lock context."""
+
+    def __init__(self, locks: set[str]):
+        self.locks = locks
+        self.depth = 0
+        #: (attr, node, is_store, under_lock)
+        self.accesses: list[tuple[str, ast.AST, bool, bool]] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        locked = any(_is_lock_with(item, self.locks) for item in node.items)
+        if locked:
+            self.depth += 1
+        self.generic_visit(node)
+        if locked:
+            self.depth -= 1
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            if node.attr not in self.locks:
+                is_store = isinstance(node.ctx, (ast.Store, ast.Del))
+                self.accesses.append((node.attr, node, is_store, self.depth > 0))
+        self.generic_visit(node)
+
+    # nested defs get their own analysis pass; don't double-count
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+@register
+class UnlockedSharedAttributeRule(Rule):
+    """RPR201: lock-guarded attribute accessed outside ``with self._lock``."""
+
+    id = "RPR201"
+    name = "unlocked-attribute"
+    description = (
+        "attribute written under a lock elsewhere in the class is "
+        "read or written without holding that lock"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for cls in module.classes():
+            locks = _lock_attrs(cls)
+            if not locks:
+                continue
+            methods = [
+                n
+                for n in cls.body
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ]
+            per_method: list[tuple[ast.FunctionDef, _AccessVisitor]] = []
+            guarded: set[str] = set()
+            for method in methods:
+                visitor = _AccessVisitor(locks)
+                for stmt in method.body:
+                    visitor.visit(stmt)
+                per_method.append((method, visitor))
+                for attr, _node, is_store, under_lock in visitor.accesses:
+                    if is_store and under_lock:
+                        guarded.add(attr)
+            if not guarded:
+                continue
+            for method, visitor in per_method:
+                if method.name in {"__init__", "__new__"}:
+                    continue  # no concurrent access before construction ends
+                if _documented_lock_held(method):
+                    continue
+                for attr, node, is_store, under_lock in visitor.accesses:
+                    if attr in guarded and not under_lock:
+                        kind = "write to" if is_store else "read of"
+                        yield self.finding(
+                            module,
+                            node,
+                            f"{kind} self.{attr} outside the lock: it is "
+                            f"written under `with self.{'/'.join(sorted(locks))}` "
+                            f"elsewhere in {cls.name}; take the lock (or mark "
+                            "the helper \"caller holds lock\")",
+                        )
+
+
+@register
+class ThreadPoolLoopCaptureRule(Rule):
+    """RPR202: thread-pool submission capturing a mutable loop variable."""
+
+    id = "RPR202"
+    name = "loop-variable-capture"
+    description = (
+        "lambda/closure submitted to an executor references the enclosing "
+        "loop variable; bind it as a default argument instead"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for loop in ast.walk(module.tree):
+            if not isinstance(loop, (ast.For, ast.AsyncFor)):
+                continue
+            loop_names = {
+                n.id for n in ast.walk(loop.target) if isinstance(n, ast.Name)
+            }
+            if not loop_names:
+                continue
+            for node in ast.walk(loop):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not self._is_submission(node):
+                    continue
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    captured = self._free_loop_vars(arg, loop_names)
+                    if captured:
+                        yield self.finding(
+                            module,
+                            node,
+                            "closure submitted to a worker references loop "
+                            f"variable(s) {', '.join(sorted(captured))}; by "
+                            "execution time every submission sees the last "
+                            "value — bind via default args "
+                            "(lambda x=x: ...) or functools.partial",
+                        )
+
+    @staticmethod
+    def _is_submission(call: ast.Call) -> bool:
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in {"submit", "apply_async"}:
+            return True
+        return isinstance(func, ast.Name) and func.id == "Thread"
+
+    @staticmethod
+    def _free_loop_vars(node: ast.AST, loop_names: set[str]) -> set[str]:
+        if isinstance(node, ast.Lambda):
+            bound = {a.arg for a in node.args.args + node.args.kwonlyargs}
+            bound.update(
+                a.arg
+                for a in (node.args.vararg, node.args.kwarg)
+                if a is not None
+            )
+            free = {
+                n.id
+                for n in ast.walk(node.body)
+                if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+            }
+            return (free & loop_names) - bound
+        return set()

@@ -1,0 +1,243 @@
+"""API-hygiene rules (RPR3xx).
+
+These rules are *project-aware*: they import the live registries
+(backends, schedules, partitioners, ``LoopyConfig``) and validate
+string literals and keyword arguments against them, so a typo'd
+``"c-nod:residual"`` or a ``LoopyConfig(paradgim=...)`` fails CI
+instead of a production selection path.  When the project itself is
+not importable (linting a detached checkout), the registry-backed
+rules degrade to no-ops rather than crashing the analyzer.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.framework import Finding, Module, Rule, register
+
+#: modules kept only as deprecation shims (removal: repro 2.0)
+_SHIM_MODULES = {
+    "repro.core.residual": "repro.core.scheduler (ResidualBP)",
+    "repro.core.workqueue": "repro.core.scheduler (WorkQueue)",
+}
+
+_QUALIFIER_RE = re.compile(
+    r"^(?P<base>[a-z][a-z0-9_-]*)"
+    r"(?::(?P<schedule>[a-z][a-z0-9_-]*))?"
+    r"(?:@(?P<shards>\d+)x(?P<method>[a-z][a-z0-9_-]*))?$"
+)
+
+
+def _registries():
+    """(BACKENDS, normalize_schedule, normalize_partitioner) or None."""
+    try:
+        from repro.backends.registry import BACKENDS
+        from repro.core.scheduler import normalize_schedule
+        from repro.partition import normalize_partitioner
+    except Exception:  # pragma: no cover - detached checkout
+        return None
+    return BACKENDS, normalize_schedule, normalize_partitioner
+
+
+def validate_qualifier(spec: str) -> str | None:
+    """Human-readable error for an unresolvable backend qualifier, else None.
+
+    Accepts the full grammar ``<backend>[:<schedule>][@<K>x<METHOD>]``
+    used by the registry and by :class:`repro.credo.runner.ExecutionPlan`.
+    """
+    registries = _registries()
+    if registries is None:
+        return None
+    backends, normalize_schedule, normalize_partitioner = registries
+    match = _QUALIFIER_RE.match(spec)
+    if match is None:
+        return f"{spec!r} does not match <backend>[:<schedule>][@<K>x<METHOD>]"
+    base = match.group("base")
+    if base not in backends:
+        return f"unknown backend {base!r} (known: {', '.join(sorted(backends))})"
+    schedule = match.group("schedule")
+    if schedule is not None:
+        try:
+            normalize_schedule(schedule)
+        except (KeyError, ValueError) as exc:
+            return f"bad schedule qualifier in {spec!r}: {exc}"
+    method = match.group("method")
+    if method is not None:
+        try:
+            normalize_partitioner(method)
+        except (KeyError, ValueError) as exc:
+            return f"bad partitioner in {spec!r}: {exc}"
+    return None
+
+
+def _validate_schedule(name: str) -> str | None:
+    registries = _registries()
+    if registries is None:
+        return None
+    _, normalize_schedule, _ = registries
+    try:
+        normalize_schedule(name)
+    except (KeyError, ValueError) as exc:
+        return str(exc)
+    return None
+
+
+@register
+class DeprecatedShimRule(Rule):
+    """RPR301: imports of PR-3 deprecation shims / deprecated kwargs."""
+
+    id = "RPR301"
+    name = "deprecated-shim"
+    severity = "warning"
+    description = (
+        "internal import of a deprecation shim (repro.core.residual / "
+        "repro.core.workqueue) or use of the edge_cut_fraction kwarg"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        # the shims themselves are allowed to exist
+        if module.rel_path.endswith(("core/residual.py", "core/workqueue.py")):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in _SHIM_MODULES:
+                        yield self._shim_finding(module, node, alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module in _SHIM_MODULES:
+                    yield self._shim_finding(module, node, node.module)
+            elif isinstance(node, ast.Call):
+                func_name = self._call_name(node)
+                if func_name is not None and func_name.endswith("Backend"):
+                    for kw in node.keywords:
+                        if kw.arg == "edge_cut_fraction":
+                            yield self.finding(
+                                module,
+                                node,
+                                "edge_cut_fraction= is deprecated (removal: "
+                                "repro 2.0); pass a measured Partition "
+                                "(repro.partition.make_partition) instead",
+                            )
+
+    def _shim_finding(self, module: Module, node: ast.AST, name: str) -> Finding:
+        return self.finding(
+            module,
+            node,
+            f"import of deprecation shim {name} (removal: repro 2.0); "
+            f"import from {_SHIM_MODULES[name]} instead",
+        )
+
+    @staticmethod
+    def _call_name(call: ast.Call) -> str | None:
+        if isinstance(call.func, ast.Name):
+            return call.func.id
+        if isinstance(call.func, ast.Attribute):
+            return call.func.attr
+        return None
+
+
+@register
+class UnresolvableQualifierRule(Rule):
+    """RPR302: backend / schedule qualifier strings that don't resolve."""
+
+    id = "RPR302"
+    name = "unresolvable-qualifier"
+    description = (
+        "backend name, ':schedule' or '@KxMETHOD' qualifier literal that "
+        "does not resolve against the live registries"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            func_name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            candidates: list[tuple[ast.AST, str, str]] = []
+            if func_name == "get_backend" and node.args:
+                arg = node.args[0]
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                    candidates.append((arg, arg.value, "backend"))
+            for kw in node.keywords:
+                if not (
+                    isinstance(kw.value, ast.Constant)
+                    and isinstance(kw.value.value, str)
+                ):
+                    continue
+                if kw.arg == "backend":
+                    candidates.append((kw.value, kw.value.value, "backend"))
+                elif kw.arg == "schedule":
+                    candidates.append((kw.value, kw.value.value, "schedule"))
+            for target, value, kind in candidates:
+                error = (
+                    validate_qualifier(value)
+                    if kind == "backend"
+                    else _validate_schedule(value)
+                )
+                if error is not None:
+                    yield self.finding(
+                        module,
+                        target,
+                        f"{kind} literal {value!r} does not resolve: {error}",
+                    )
+
+
+@register
+class UnknownConfigKwargRule(Rule):
+    """RPR303: ``LoopyConfig(...)`` kwargs that don't exist (or are shims)."""
+
+    id = "RPR303"
+    name = "unknown-config-kwarg"
+    description = (
+        "LoopyConfig called with a keyword that is not a config field, "
+        "or with the deprecated work_queue= boolean shim"
+    )
+
+    def _fields(self) -> set[str] | None:
+        try:
+            import dataclasses
+
+            from repro.core.loopy import LoopyConfig
+        except Exception:  # pragma: no cover - detached checkout
+            return None
+        return {f.name for f in dataclasses.fields(LoopyConfig)}
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        fields = self._fields()
+        if fields is None:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name != "LoopyConfig":
+                continue
+            for kw in node.keywords:
+                if kw.arg is None:  # **kwargs — can't check statically
+                    continue
+                if kw.arg == "work_queue":
+                    yield self.finding(
+                        module,
+                        node,
+                        "LoopyConfig(work_queue=...) is a deprecated shim "
+                        "(removal: repro 2.0); use schedule='work_queue' / "
+                        "schedule='sync'",
+                    )
+                elif kw.arg not in fields:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"LoopyConfig has no field {kw.arg!r} "
+                        f"(known: {', '.join(sorted(fields))})",
+                    )

@@ -1,0 +1,280 @@
+"""Numerical-safety rules (RPR1xx).
+
+Belief/message arrays are probability rows that legitimately contain
+exact zeros (hard evidence, deterministic potentials), so every ``log``
+and every division by such an array must clamp first — the shared
+floors live in :mod:`repro.core.numeric`.  These rules do a light
+per-function dataflow pass: a name assigned from ``np.maximum`` /
+``np.clip`` / ``safe_log`` / ``safe_divide`` / builtin ``max`` counts
+as *clamped* for the rest of the function.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.framework import Finding, Module, Rule, register
+
+#: identifiers that smell like probability vectors/matrices
+_PROB_NAME = re.compile(
+    r"(message|msg|belief|prior|cavity|marginal|posterior|prob(?!e)|potential|psi)",
+    re.IGNORECASE,
+)
+
+#: builtin calls whose result is a count / cast, never probability mass
+_COUNT_FUNCS = {"len", "int", "float", "range", "id", "ord"}
+
+#: numpy calls whose result is safe to log / divide by
+_GUARD_ATTRS = {"maximum", "clip", "abs", "exp", "square"}
+#: project helpers that clamp internally
+_SAFE_FUNCS = {"safe_log", "safe_divide"}
+#: structure arrays shared across BeliefGraph.copy() — in-place writes
+#: through any copy corrupt every sibling (and the registered master)
+_SHARED_STRUCTURE_ATTRS = {
+    "src",
+    "dst",
+    "reverse_edge",
+    "in_offsets",
+    "in_edge_ids",
+    "out_offsets",
+    "out_edge_ids",
+    "dims",
+}
+
+
+def _terminal_name(node: ast.AST) -> str | None:
+    """``a`` for ``a``, ``b`` for ``a.b``, ``a`` for ``a[i]``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        return _terminal_name(node.value)
+    return None
+
+
+def _clamped_names(func: ast.AST, module: Module) -> set[str]:
+    """Names assigned from a clamping call anywhere in ``func``."""
+    clamped: set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        if _is_guard_expr(node.value, module, clamped):
+            clamped.add(target.id)
+    return clamped
+
+
+def _is_guard_expr(node: ast.AST, module: Module, clamped: set[str]) -> bool:
+    """Is this expression already safe to log / divide by?"""
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in clamped
+    if isinstance(node, ast.Subscript):
+        return _is_guard_expr(node.value, module, clamped)
+    if isinstance(node, ast.IfExp):
+        return _is_guard_expr(node.body, module, clamped) and _is_guard_expr(
+            node.orelse, module, clamped
+        )
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        # "x + eps" style guard
+        return isinstance(node.left, ast.Constant) or isinstance(
+            node.right, ast.Constant
+        )
+    if isinstance(node, ast.Call):
+        if module.is_numpy_call(node, *_GUARD_ATTRS):
+            return True
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _SAFE_FUNCS | {"max", "abs"}:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SAFE_FUNCS:
+            return True
+    return False
+
+
+def _prob_names_in(node: ast.AST, module: Module, clamped: set[str]) -> list[str]:
+    """Unclamped probability-ish identifiers inside a denominator,
+    not descending into guarded subexpressions."""
+    if _is_guard_expr(node, module, clamped):
+        return []
+    if isinstance(node, ast.Name):
+        return [node.id] if _PROB_NAME.search(node.id) and node.id not in clamped else []
+    if isinstance(node, ast.Attribute):
+        return [node.attr] if _PROB_NAME.search(node.attr) else []
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _COUNT_FUNCS:
+            return []  # len(msgs) etc. is a count, not probability mass
+        out: list[str] = []
+        if isinstance(func, ast.Attribute) and func.attr in {"sum", "prod", "dot"}:
+            # x / msgs.sum(): reductions of zeroed rows are the classic case
+            out.extend(_prob_names_in(func.value, module, clamped))
+        # an unguarded call result: inspect its arguments conservatively
+        for arg in node.args:
+            out.extend(_prob_names_in(arg, module, clamped))
+        return out
+    out = []
+    for child in ast.iter_child_nodes(node):
+        out.extend(_prob_names_in(child, module, clamped))
+    return out
+
+
+@register
+class UnguardedLogRule(Rule):
+    """RPR101: ``np.log`` on a potentially-zero probability array."""
+
+    id = "RPR101"
+    name = "unguarded-log"
+    description = (
+        "np.log on belief/message/prior data without an epsilon clamp; "
+        "use repro.core.numeric.safe_log (or np.maximum(x, TINY/EPS))"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        clamp_cache: dict[ast.AST, set[str]] = {}
+        for node in ast.walk(module.tree):
+            if not module.is_numpy_call(node, "log", "log2", "log10"):
+                continue
+            if not node.args:
+                continue
+            func = module.enclosing_function(node)
+            if func not in clamp_cache:
+                clamp_cache[func] = (
+                    _clamped_names(func, module) if func is not None else set()
+                )
+            if _is_guard_expr(node.args[0], module, clamp_cache[func]):
+                continue
+            yield self.finding(
+                module,
+                node,
+                "np.log on an unclamped operand can produce -inf on zero "
+                "probabilities; use repro.core.numeric.safe_log or clamp "
+                "with np.maximum(x, TINY/EPS) first",
+            )
+
+
+@register
+class UnguardedDivideRule(Rule):
+    """RPR102: division by a belief/message array without a clamp."""
+
+    id = "RPR102"
+    name = "unguarded-divide"
+    description = (
+        "division by message/belief data without an epsilon clamp; "
+        "use repro.core.numeric.safe_divide (or clamp the denominator)"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        clamp_cache: dict[ast.AST, set[str]] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                denominator = node.right
+            elif module.is_numpy_call(node, "divide", "true_divide") and len(
+                node.args
+            ) >= 2:
+                denominator = node.args[1]
+            else:
+                continue
+            func = module.enclosing_function(node)
+            if func not in clamp_cache:
+                clamp_cache[func] = (
+                    _clamped_names(func, module) if func is not None else set()
+                )
+            names = _prob_names_in(denominator, module, clamp_cache[func])
+            if not names:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"division by {'/'.join(sorted(set(names)))} without a zero "
+                "guard; cavity divisions hit zeroed message rows under hard "
+                "evidence — use repro.core.numeric.safe_divide",
+            )
+
+
+@register
+class InPlaceSharedMutationRule(Rule):
+    """RPR103: in-place mutation of shared / cache-returned arrays."""
+
+    id = "RPR103"
+    name = "inplace-shared-mutation"
+    description = (
+        "in-place writes to BeliefGraph structure arrays (shared across "
+        ".copy()) or to objects returned by a result cache"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        tainted = self._cache_returned_names(module)
+        for node in ast.walk(module.tree):
+            target = None
+            if isinstance(node, ast.Assign):
+                for t in node.targets:
+                    if isinstance(t, ast.Subscript):
+                        target = t
+            elif isinstance(node, ast.AugAssign):
+                target = node.target
+            if target is None:
+                continue
+
+            # graph.src[...] = ... / graph.src += ... on shared structure
+            base = target.value if isinstance(target, ast.Subscript) else target
+            if (
+                isinstance(base, ast.Attribute)
+                and base.attr in _SHARED_STRUCTURE_ATTRS
+                and not self._is_self_constructor_write(module, node, base)
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"in-place write to .{base.attr}: graph structure arrays "
+                    "are shared across BeliefGraph.copy() — build a new array "
+                    "instead of mutating",
+                )
+                continue
+
+            # cached[...] = ... on a cache-returned object
+            name = _terminal_name(target)
+            if name is not None and name in tainted:
+                yield self.finding(
+                    module,
+                    node,
+                    f"in-place mutation of {name!r}, which came from a result "
+                    "cache; mutate a copy (copy_posteriors / np.array(x, "
+                    "copy=True)) so cached entries stay pristine",
+                )
+
+    @staticmethod
+    def _cache_returned_names(module: Module) -> set[str]:
+        """Names assigned from ``<something cache>.get(...)``."""
+        tainted: set[str] = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            value = node.value
+            if (
+                isinstance(target, ast.Name)
+                and isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr == "get"
+            ):
+                owner = _terminal_name(value.func.value)
+                if owner is not None and "cache" in owner.lower():
+                    tainted.add(target.id)
+        return tainted
+
+    @staticmethod
+    def _is_self_constructor_write(
+        module: Module, node: ast.AST, base: ast.Attribute
+    ) -> bool:
+        """``self.src[...] = ...`` inside ``__init__``/``build`` is the
+        constructor filling arrays it just allocated — not shared yet."""
+        if not (isinstance(base.value, ast.Name) and base.value.id == "self"):
+            return False
+        func = module.enclosing_function(node)
+        return func is not None and func.name in {"__init__", "build", "__new__"}

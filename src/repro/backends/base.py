@@ -98,7 +98,7 @@ class Backend:
         crit = criterion or ConvergenceCriterion()
         if work_queue is not None:
             # legacy path: LoopyConfig owns the deprecation warning
-            return LoopyConfig(
+            return LoopyConfig(  # noqa: RPR303
                 paradigm=paradigm,
                 update_rule=update_rule,
                 criterion=crit,

@@ -16,11 +16,10 @@ import numpy as np
 from repro.backends.base import Backend, RunResult
 from repro.core.convergence import ConvergenceCriterion
 from repro.core.graph import BeliefGraph
+from repro.core.numeric import EPS as _TINY  # shared float64 floor
 from repro.core.sweepstats import RunStats, SweepStats
 
 __all__ = ["ReferenceBackend"]
-
-_TINY = 1e-300
 
 
 class ReferenceBackend(Backend):

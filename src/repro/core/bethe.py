@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.graph import BeliefGraph
+from repro.core.numeric import EPS, safe_log
 from repro.core.state import LoopyState, TINY
 
 __all__ = ["pairwise_pseudo_marginals", "bethe_free_energy", "bethe_log_partition"]
@@ -55,7 +56,7 @@ def pairwise_pseudo_marginals(state: LoopyState) -> dict[int, np.ndarray]:
 def bethe_free_energy(graph: BeliefGraph, state: LoopyState | None = None) -> float:
     """Bethe free energy of the current beliefs (lower is better fit)."""
     state = state or LoopyState(graph)
-    node_beliefs = np.maximum(np.asarray(state.beliefs, dtype=np.float64), 1e-300)
+    node_beliefs = np.maximum(np.asarray(state.beliefs, dtype=np.float64), EPS)
     log_priors = np.asarray(state.log_priors, dtype=np.float64)
     degrees = np.zeros(state.n)
     energy = 0.0
@@ -69,11 +70,11 @@ def bethe_free_energy(graph: BeliefGraph, state: LoopyState | None = None) -> fl
             dtype=np.float64,
         )
         log_factor = (
-            np.log(np.maximum(psi, 1e-300))
+            safe_log(psi, EPS)
             + log_priors[u][:, None]
             + log_priors[v][None, :]
         )
-        b_safe = np.maximum(b_uv, 1e-300)
+        b_safe = np.maximum(b_uv, EPS)
         energy += float((b_uv * (np.log(b_safe) - log_factor)).sum())
 
     node_term = (node_beliefs * (np.log(node_beliefs) - log_priors)).sum(axis=1)

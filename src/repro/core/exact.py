@@ -17,6 +17,7 @@ import itertools
 import numpy as np
 
 from repro.core.graph import BeliefGraph
+from repro.core.numeric import EPS, safe_log
 
 __all__ = ["exact_marginals", "exact_log_partition"]
 
@@ -92,4 +93,4 @@ def exact_log_partition(graph: BeliefGraph) -> float:
     total = sum(weight for _, weight in _enumerate(graph))
     if total <= 0.0:
         raise ValueError("joint distribution has zero mass")
-    return float(np.log(total))
+    return float(safe_log(total, EPS))

@@ -27,10 +27,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.graph import BeliefGraph
+from repro.core.numeric import EPS as _TINY  # shared float64 floor
 
 __all__ = ["JunctionTree", "junction_tree_marginals", "treewidth_upper_bound"]
-
-_TINY = 1e-300
 
 
 def _undirected_adjacency(graph: BeliefGraph) -> list[set[int]]:

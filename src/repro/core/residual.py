@@ -18,8 +18,8 @@ from repro.core.scheduler import ResidualBP
 __all__ = ["ResidualBP"]
 
 warnings.warn(
-    "repro.core.residual is deprecated; import ResidualBP from "
-    "repro.core.scheduler (or repro.core)",
+    "repro.core.residual is deprecated and will be removed in repro 2.0; "
+    "import ResidualBP from repro.core.scheduler (or repro.core)",
     DeprecationWarning,
     stacklevel=2,
 )

@@ -396,6 +396,13 @@ class ShardedLoopyBP:
     (own pool per run) enable parallel shard sweeps; the default is
     serial — numerics are identical either way, because every sweep
     touches only its own shard and the exchange runs on the caller.
+
+    ``instrument`` accepts any object with the
+    :class:`~repro.analysis.races.RaceDetector` hook protocol —
+    ``on_states(states)`` is called once after the per-shard states are
+    built (before any sweep), and ``on_phase(label)`` at every
+    fork-join barrier: after the parallel sweeps land ("exchange") and
+    after the serial boundary exchange ("sweep").
     """
 
     def __init__(
@@ -404,12 +411,14 @@ class ShardedLoopyBP:
         *,
         pool: ThreadPoolExecutor | None = None,
         max_workers: int | None = None,
+        instrument=None,
         **overrides,
     ):
         base = config or LoopyConfig()
         self.config = replace(base, **overrides) if overrides else base
         self._pool = pool
         self._max_workers = max_workers
+        self._instrument = instrument
 
     # ------------------------------------------------------------------
     def run(self, sharded: ShardedGraph) -> ShardedResult:
@@ -441,6 +450,10 @@ class ShardedLoopyBP:
         for sh, st in zip(shards, states):
             # halo rows are owned elsewhere: never update them locally
             st.free_mask[sh.n_owned:] = False
+        instrument = self._instrument
+        if instrument is not None:
+            # before plan construction, so plans capture the tracked views
+            instrument.on_states(states)
 
         plans = []
         schedules = []
@@ -480,6 +493,9 @@ class ShardedLoopyBP:
                 steps = list(pool.map(sweep_one, range(k), actives))
             else:
                 steps = [sweep_one(i, actives[i]) for i in range(k)]
+            if instrument is not None:
+                # pool.map's join is a barrier: sweeps happen-before this
+                instrument.on_phase("exchange")
 
             global_delta = 0.0
             round_stats = SweepStats()
@@ -503,6 +519,9 @@ class ShardedLoopyBP:
             history.append(global_delta)
 
             exchange_bytes += self._exchange(sharded, states, plans, schedules, cfg)
+            if instrument is not None:
+                # next round's submissions happen-after the exchange
+                instrument.on_phase("sweep")
 
             if (exhaustive and crit.is_converged(global_delta)) or all(
                 s.drained for s in schedules

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.graph import BeliefGraph
+from repro.core.numeric import TINY32, safe_log
 
 __all__ = ["LoopyState", "TINY", "normalize_rows"]
 
@@ -20,7 +21,9 @@ _FLOAT = np.float32
 
 #: Floor applied before logarithms; preserves one-hot evidence to within
 #: float32 resolution while keeping log-space arithmetic finite.
-TINY = np.float32(1e-30)
+#: (Re-exported from :mod:`repro.core.numeric`, the single home of the
+#: numerical-safety floors.)
+TINY = TINY32
 
 
 def normalize_rows(matrix: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
@@ -79,7 +82,7 @@ class LoopyState:
             priors = priors.copy()
             priors[observed] = TINY
             priors[observed, graph.observed_state[observed]] = 1.0
-        self.log_priors = np.log(np.maximum(priors, TINY))
+        self.log_priors = safe_log(priors, TINY)
 
         self.src = graph.src
         self.dst = graph.dst
@@ -109,7 +112,7 @@ class LoopyState:
 
     # ------------------------------------------------------------------
     def _rebuild_log_msg_sum(self) -> None:
-        self.log_messages = np.log(np.maximum(self.messages, TINY))
+        self.log_messages = safe_log(self.messages, TINY)
         self.log_msg_sum[:] = 0.0
         if self.m:
             for s in range(self.b):
@@ -195,7 +198,7 @@ class LoopyState:
         """
         old = self.messages[edge_ids]
         deltas = np.abs(new_msgs - old).sum(axis=1)
-        new_logs = np.log(np.maximum(new_msgs, TINY))
+        new_logs = safe_log(new_msgs, TINY)
         log_delta = new_logs - self.log_messages[edge_ids]
         dsts = self.dst[edge_ids]
         for s in range(self.b):

@@ -25,11 +25,10 @@ import numpy as np
 
 from repro.core.convergence import ConvergenceCriterion
 from repro.core.graph import BeliefGraph
+from repro.core.numeric import TINY as _TINY  # shared 1e-30 floor
 from repro.core.sweepstats import RunStats, SweepStats
 
 __all__ = ["TreeBP", "TreeBPResult", "bfs_levels"]
-
-_TINY = 1e-30
 
 
 def bfs_levels(graph: BeliefGraph, roots: list[int] | None = None) -> np.ndarray:
@@ -124,7 +123,7 @@ class TreeBP:
         distribute = np.flatnonzero(src_lv <= dst_lv)
         distribute = distribute[np.argsort(src_lv[distribute], kind="stable")]
 
-        beliefs = priors / priors.sum(axis=1, keepdims=True)
+        beliefs = priors / np.maximum(priors.sum(axis=1, keepdims=True), _TINY)
         history: list[float] = []
         converged = False
         iteration = 0

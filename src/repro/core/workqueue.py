@@ -16,8 +16,8 @@ from repro.core.scheduler import WorkQueue
 __all__ = ["WorkQueue"]
 
 warnings.warn(
-    "repro.core.workqueue is deprecated; import WorkQueue from "
-    "repro.core.scheduler (or repro.core)",
+    "repro.core.workqueue is deprecated and will be removed in repro 2.0; "
+    "import WorkQueue from repro.core.scheduler (or repro.core)",
     DeprecationWarning,
     stacklevel=2,
 )

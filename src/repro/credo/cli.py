@@ -68,6 +68,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("backends", help="list available backends")
 
+    # "lint" is intercepted in main() before parsing (its options are
+    # owned by repro.analysis); registered here only for --help listing
+    sub.add_parser(
+        "lint",
+        help="run the project-aware static checker (python -m repro.analysis)",
+        add_help=False,
+    )
+
     serve = sub.add_parser(
         "serve", help="serve posterior queries over JSON-lines (stdin or TCP)"
     )
@@ -231,6 +239,11 @@ def _cmd_query(args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["lint"]:
+        from repro.analysis.__main__ import main as lint_main
+
+        return lint_main(argv[1:])
     args = _build_parser().parse_args(argv)
 
     if args.command == "serve":
@@ -245,6 +258,7 @@ def main(argv: list[str] | None = None) -> int:
         for name in available_backends():
             print(name)
         return 0
+
 
     if args.command == "features":
         from repro.credo.features import FEATURE_NAMES, extract_features

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.numeric import EPS, safe_log
 from repro.ml.base import ClassifierMixin, check_xy
 
 __all__ = ["GaussianNBClassifier"]
@@ -41,10 +42,11 @@ class GaussianNBClassifier(ClassifierMixin):
     def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
         jll = np.zeros((len(X), len(self.classes_)))
         for c in range(len(self.classes_)):
-            log_prior = np.log(max(self.class_prior_[c], 1e-300))
+            log_prior = np.log(max(self.class_prior_[c], EPS))
             diff = X - self.theta_[c]
+            # var_ >= var_smoothing > EPS after fit, so the clamp is exact
             log_like = -0.5 * (
-                np.log(2.0 * np.pi * self.var_[c]) + diff**2 / self.var_[c]
+                safe_log(2.0 * np.pi * self.var_[c], EPS) + diff**2 / self.var_[c]
             ).sum(axis=1)
             jll[:, c] = log_prior + log_like
         return jll

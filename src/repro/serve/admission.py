@@ -189,4 +189,5 @@ class AdmissionQueue:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._lock:
+            return self._closed

@@ -68,6 +68,9 @@ class QueryEngine:
         self._pool: ThreadPoolExecutor | None = None
         self._pool_width = 0
         self._pool_lock = threading.Lock()
+        #: optional RaceDetector-style hook object (repro.analysis.races)
+        #: threaded into every sharded run; None in production
+        self.instrument = None
 
     def _shard_pool(self, width: int) -> ThreadPoolExecutor:
         target = self.config.shard_threads or width
@@ -243,7 +246,9 @@ class QueryEngine:
 
         plan = model.plan
         driver = ShardedLoopyBP(
-            self._loopy_config(model), pool=self._shard_pool(plan.shards)
+            self._loopy_config(model),
+            pool=self._shard_pool(plan.shards),
+            instrument=self.instrument,
         )
         for i, frozen, use_cache in misses:
             self.metrics.record_batch(1)

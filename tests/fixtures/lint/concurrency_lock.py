@@ -1,0 +1,45 @@
+"""RPR201 fixture: lock-discipline violations on guarded attributes."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def record_hit(self):
+        with self._lock:
+            self._hits += 1
+
+    def record_miss(self):
+        with self._lock:
+            self._misses += 1
+
+    def bad_total(self):
+        return self._hits + self._misses  # FINDING x2: reads without lock
+
+    def bad_reset(self):
+        self._hits = 0  # FINDING: write without lock
+        with self._lock:
+            self._misses = 0
+
+    def good_total(self):
+        with self._lock:
+            return self._hits + self._misses
+
+    def _drain(self):
+        """Flush counters (caller holds lock)."""
+        self._hits = 0  # ok: documented lock-held helper
+        self._misses = 0
+
+
+class Unlocked:
+    """No lock attribute at all: nothing to guard, nothing flagged."""
+
+    def __init__(self):
+        self.value = 0
+
+    def bump(self):
+        self.value += 1

@@ -1,0 +1,27 @@
+"""RPR303 fixture: LoopyConfig keyword validation against live fields."""
+
+from repro.core.loopy import LoopyConfig
+
+
+def bad_typo():
+    return LoopyConfig(paradgim="node")  # FINDING: misspelled field
+
+
+def bad_unknown():
+    return LoopyConfig(n_shards=4)  # FINDING: sharding isn't a config field
+
+
+def bad_deprecated():
+    return LoopyConfig(work_queue=True)  # FINDING: deprecated boolean shim
+
+
+def good_fields():
+    return LoopyConfig(paradigm="node", schedule="residual", damping=0.1)
+
+
+def good_suppressed():
+    return LoopyConfig(work_queue=False)  # noqa: RPR303
+
+
+def good_splat(kwargs):
+    return LoopyConfig(**kwargs)  # ok: can't check statically

@@ -1,0 +1,20 @@
+"""RPR301 fixture: deprecation-shim imports and deprecated kwargs."""
+
+import repro.core.residual  # FINDING: shim module
+from repro.core.workqueue import WorkQueue  # FINDING: shim module
+from repro.core.scheduler import ResidualBP  # ok: real home
+
+
+def bad_backend_kwarg(graph, cut):
+    from repro.backends.distributed import MultiGpuBackend
+
+    return MultiGpuBackend(edge_cut_fraction=cut).run(graph)  # FINDING
+
+
+def good_detail_key(detail, cut):
+    # ok: plain dict call, not a *Backend constructor
+    detail.update(edge_cut_fraction=cut)
+    return detail
+
+
+__all__ = ["WorkQueue", "ResidualBP", "repro"]

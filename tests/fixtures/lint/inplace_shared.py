@@ -1,0 +1,34 @@
+"""RPR103 fixture: in-place mutation of shared / cached objects."""
+
+import numpy as np
+
+
+def bad_structure_write(graph):
+    graph.src[0] = 3  # FINDING: structure arrays shared across .copy()
+
+
+def bad_structure_augment(graph):
+    graph.in_offsets += 1  # FINDING
+
+
+def bad_cached_mutation(result_cache, key):
+    posteriors = result_cache.get(key)
+    posteriors[0] = 0.5  # FINDING: cache entry mutated in place
+    return posteriors
+
+
+def good_rebuild(graph, new_src):
+    graph.src = np.asarray(new_src)  # ok: rebinding, not in-place
+
+
+def good_copy(result_cache, key):
+    posteriors = result_cache.get(key)
+    mine = np.array(posteriors, copy=True)
+    mine[0] = 0.5  # ok: the copy is private
+    return mine
+
+
+class Builder:
+    def __init__(self, n):
+        self.src = np.zeros(n, dtype=np.int64)
+        self.src[0] = 1  # ok: constructor filling its own allocation

@@ -1,0 +1,29 @@
+"""RPR202 fixture: loop variables captured by worker submissions."""
+
+
+def bad_submit(pool, shards):
+    futures = []
+    for i, shard in enumerate(shards):
+        futures.append(pool.submit(lambda: shard.sweep(i)))  # FINDING
+    return futures
+
+
+def bad_apply_async(pool, items):
+    for item in items:
+        pool.apply_async(lambda: item.process())  # FINDING
+
+
+def good_bound_default(pool, shards):
+    futures = []
+    for i, shard in enumerate(shards):
+        # ok: loop variables frozen as defaults at submission time
+        futures.append(pool.submit(lambda i=i, shard=shard: shard.sweep(i)))
+    return futures
+
+
+def good_direct_args(pool, shards):
+    return [pool.submit(shard.sweep, i) for i, shard in enumerate(shards)]
+
+
+def good_map(pool, shards):
+    return list(pool.map(lambda s: s.sweep(), shards))  # ok: map passes args

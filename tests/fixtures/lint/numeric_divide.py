@@ -1,0 +1,30 @@
+"""RPR102 fixture: divisions by probability data."""
+
+import numpy as np
+
+from repro.core.numeric import TINY, safe_divide
+
+
+def bad_cavity(beliefs, messages, rev):
+    return beliefs / messages[rev]  # FINDING: zeroed rows under evidence
+
+
+def bad_normalize(msg):
+    return msg / msg.sum()  # FINDING: reduction of a zeroed row
+
+
+def bad_np_divide(beliefs, messages):
+    return np.divide(beliefs, messages)  # FINDING
+
+
+def good_clamped(beliefs, messages, rev):
+    back = np.maximum(messages[rev], TINY)
+    return beliefs / back  # ok: denominator clamped upstream
+
+
+def good_safe(beliefs, messages):
+    return safe_divide(beliefs, messages)  # ok
+
+
+def good_count(messages):
+    return 1.0 / len(messages)  # ok: len() is a count, not mass

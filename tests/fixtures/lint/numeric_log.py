@@ -1,0 +1,34 @@
+"""RPR101 fixture: unguarded vs guarded logs on probability data."""
+
+import numpy as np
+
+from repro.core.numeric import TINY, safe_log
+
+
+def bad_log(messages):
+    return np.log(messages)  # FINDING: no clamp
+
+
+def bad_log_expr(beliefs):
+    return np.log(beliefs * 2.0)  # FINDING: multiply doesn't guard zero
+
+
+def good_clamped(messages):
+    clamped = np.maximum(messages, TINY)
+    return np.log(clamped)  # ok: dataflow sees the clamp
+
+
+def good_inline(messages):
+    return np.log(np.maximum(messages, TINY))  # ok: guarded argument
+
+
+def good_safe(messages):
+    return safe_log(messages)  # ok: project helper clamps internally
+
+
+def good_additive(messages):
+    return np.log(messages + 1e-30)  # ok: "+ eps" guard
+
+
+def suppressed_log(messages):
+    return np.log(messages)  # noqa: RPR101

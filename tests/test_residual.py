@@ -8,7 +8,7 @@ import numpy as np
 
 from repro.core import LoopyBP, LoopyResult, exact_marginals
 from repro.core.convergence import ConvergenceCriterion
-from repro.core.residual import ResidualBP
+from repro.core.scheduler import ResidualBP
 from tests.conftest import make_loopy_graph, make_tree_graph
 
 

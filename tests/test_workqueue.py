@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.workqueue import WorkQueue
+from repro.core.scheduler import WorkQueue
 
 
 class TestWorkQueue:
