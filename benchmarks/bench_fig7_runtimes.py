@@ -26,6 +26,7 @@ from harness import (
     geometric_mean,
     run_core_backends,
     save_result,
+    trace_session,
 )
 from repro.graphs.suite import SUITE, build_graph
 
@@ -36,9 +37,11 @@ GRAPHS = ["10x40", "1kx4k", "10kx40k", "100kx400k", "GO", "K16", "200kx800k"]
 @pytest.fixture(scope="module")
 def figure7_results():
     results = {}
-    for abbrev in GRAPHS:
-        graph, factor = build_graph(abbrev, "binary", profile=DEFAULT_PROFILE)
-        results[abbrev] = (graph, factor, run_core_backends(graph))
+    # REPRO_TRACE=1 additionally emits results/E07_fig7_runtimes.trace.json
+    with trace_session("E07_fig7_runtimes"):
+        for abbrev in GRAPHS:
+            graph, factor = build_graph(abbrev, "binary", profile=DEFAULT_PROFILE)
+            results[abbrev] = (graph, factor, run_core_backends(graph))
     return results
 
 

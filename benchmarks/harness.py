@@ -11,6 +11,7 @@ leaves the full reproduction record on disk (EXPERIMENTS.md indexes it).
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Sequence
 
@@ -18,12 +19,42 @@ from repro.backends.base import Backend, RunResult
 from repro.backends.c_backends import CEdgeBackend, CNodeBackend
 from repro.backends.cuda_backends import CudaEdgeBackend, CudaNodeBackend
 from repro.core.graph import BeliefGraph
+from repro.telemetry import Tracer, get_tracer, use_tracer, write_chrome_trace
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 #: benchmark-suite profile for the executed experiments; override with
 #: REPRO_PROFILE=ci for larger builds or =paper for Table 1 sizes
 DEFAULT_PROFILE = os.environ.get("REPRO_PROFILE", "quick")
+
+#: when set, every experiment run inside :func:`trace_session` emits a
+#: Chrome trace next to its results table, e.g. ``REPRO_TRACE=1 pytest
+#: benchmarks/ --benchmark-only`` → ``benchmarks/results/<name>.trace.json``
+TRACE_BENCHMARKS = bool(os.environ.get("REPRO_TRACE"))
+
+
+@contextmanager
+def trace_session(experiment: str, *, enabled: bool | None = None):
+    """Scope one experiment under the telemetry tracer.
+
+    ``enabled=None`` follows the ``REPRO_TRACE`` env var.  When active,
+    installs a fresh :class:`Tracer` for the block and writes
+    ``benchmarks/results/<experiment>.trace.json`` on exit; otherwise the
+    null tracer stays in place and the block runs untraced at zero cost.
+    Yields the active tracer either way.
+    """
+    if enabled is None:
+        enabled = TRACE_BENCHMARKS
+    if not enabled:
+        yield get_tracer()
+        return
+    tracer = Tracer()
+    with use_tracer(tracer):
+        yield tracer
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.trace.json"
+    write_chrome_trace(tracer.events, path)
+    print(f"[trace saved to {path}]")
 
 
 def core_backends(device: str = "gtx1070") -> dict[str, Backend]:

@@ -13,6 +13,7 @@ and reports a :class:`RunResult` with two clocks:
 
 from __future__ import annotations
 
+import functools
 import time
 from dataclasses import dataclass, field
 from typing import Any
@@ -23,6 +24,7 @@ from repro.core.convergence import ConvergenceCriterion
 from repro.core.graph import BeliefGraph
 from repro.core.loopy import LoopyConfig, LoopyResult
 from repro.core.sweepstats import SweepStats
+from repro.telemetry import get_tracer
 
 __all__ = ["Backend", "RunResult", "BackendUnsupportedError"]
 
@@ -52,6 +54,34 @@ class RunResult:
         return other.modeled_time / self.modeled_time
 
 
+def _traced_run(run_fn):
+    """Wrap a backend ``run`` in a ``backend.run`` telemetry span.
+
+    Applied once per concrete ``run`` override via
+    ``Backend.__init_subclass__`` so every engine is covered without
+    per-backend boilerplate; a no-op span when tracing is disabled.
+    """
+
+    @functools.wraps(run_fn)
+    def wrapper(self, graph, **kwargs):
+        with get_tracer().span("backend.run", cat="backend") as sp:
+            result = run_fn(self, graph, **kwargs)
+            if sp:
+                sp.set(
+                    backend=result.backend,
+                    platform=self.platform,
+                    n_nodes=graph.n_nodes,
+                    n_edges=graph.n_edges,
+                    iterations=result.iterations,
+                    converged=result.converged,
+                    modeled_time_s=result.modeled_time,
+                )
+        return result
+
+    wrapper._telemetry_wrapped = True
+    return wrapper
+
+
 class Backend:
     """Abstract execution engine."""
 
@@ -65,6 +95,12 @@ class Backend:
     #: deprecated ``work_queue``; registry variants like
     #: ``"c-node:residual"`` override it per instance
     default_schedule: str = "work_queue"
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        run = cls.__dict__.get("run")
+        if run is not None and not getattr(run, "_telemetry_wrapped", False):
+            cls.run = _traced_run(run)
 
     def run(
         self,

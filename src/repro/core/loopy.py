@@ -39,6 +39,7 @@ from repro.core.node_kernel import node_sweep
 from repro.core.scheduler import SCHEDULES, make_schedule, normalize_schedule
 from repro.core.state import LoopyState
 from repro.core.sweepstats import RunStats, SweepStats
+from repro.telemetry import get_tracer
 
 __all__ = ["LoopyConfig", "LoopyResult", "LoopyBP"]
 
@@ -294,30 +295,56 @@ class LoopyBP:
         )
         want_downstream = cfg.requeue_downstream and schedule.wants_downstream
 
+        tracer = get_tracer()
         run_stats = RunStats()
         history: list[float] = []
         converged = False
         iteration = 0
-        while iteration < crit.max_iterations:
-            iteration += 1
-            active = schedule.active
-            step = plan.sweep(active, want_downstream)
-            history.append(step.global_delta)
-            schedule.update(
-                active, step.deltas, step.downstream, step.downstream_priority
-            )
-            schedule.charge(step.stats)
-            run_stats.append(step.stats)
-            # A drained schedule means every element individually passed
-            # its per-element convergence check (§3.5); exhaustive
-            # schedules may also stop on the global sum criterion (their
-            # sweep covers every unconverged element, so the partial sum
-            # *is* the global delta).
-            if (
-                schedule.exhaustive and crit.is_converged(step.global_delta)
-            ) or schedule.drained:
-                converged = True
-                break
+        with tracer.span("bp.run", cat="bp") as run_span:
+            while iteration < crit.max_iterations:
+                iteration += 1
+                active = schedule.active
+                with tracer.span("bp.sweep", cat="bp") as sweep_span:
+                    step = plan.sweep(active, want_downstream)
+                    history.append(step.global_delta)
+                    with tracer.span("schedule.update", cat="schedule") as sched_span:
+                        schedule.update(
+                            active, step.deltas, step.downstream,
+                            step.downstream_priority,
+                        )
+                        schedule.charge(step.stats)
+                        if sched_span:
+                            sched_span.set(
+                                schedule=cfg.schedule,
+                                queue_ops=step.stats.queue_ops,
+                                atomic_ops=step.stats.atomic_ops,
+                            )
+                    run_stats.append(step.stats)
+                    if sweep_span:
+                        sweep_span.set(
+                            iteration=iteration,
+                            active=int(len(active)),
+                            global_delta=step.global_delta,
+                            **step.stats.as_dict(),
+                        )
+                # A drained schedule means every element individually passed
+                # its per-element convergence check (§3.5); exhaustive
+                # schedules may also stop on the global sum criterion (their
+                # sweep covers every unconverged element, so the partial sum
+                # *is* the global delta).
+                if (
+                    schedule.exhaustive and crit.is_converged(step.global_delta)
+                ) or schedule.drained:
+                    converged = True
+                    break
+            if run_span:
+                run_span.set(
+                    paradigm=cfg.paradigm,
+                    schedule=cfg.schedule,
+                    n_elements=plan.n_elements,
+                    iterations=iteration,
+                    converged=converged,
+                )
 
         return LoopyResult(
             beliefs=state.beliefs.copy(),

@@ -58,6 +58,7 @@ import numpy as np
 
 from repro.core.convergence import ConvergenceCriterion
 from repro.core.sweepstats import SweepStats
+from repro.telemetry import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (loopy imports us)
     from repro.core.graph import BeliefGraph
@@ -168,16 +169,19 @@ class WorkQueue:
         """
         if len(deltas) != len(self._active):
             raise ValueError("deltas must align with the active set")
-        dirty = self._active[deltas >= self.element_threshold]
-        # Dedup via a membership mask: O(n) in C, far cheaper than sorting
-        # the (duplicate-heavy) neighbour list with np.unique.
-        mask = np.zeros(self.n_elements, dtype=bool)
-        mask[dirty] = True
-        if neighbours_of_dirty is not None and len(neighbours_of_dirty):
-            mask[neighbours_of_dirty] = True
-        self._active = np.flatnonzero(mask).astype(np.int64)
-        self.pushes += len(self._active)
-        self.rounds += 1
+        with get_tracer().span("queue.repopulate", cat="schedule") as span:
+            dirty = self._active[deltas >= self.element_threshold]
+            # Dedup via a membership mask: O(n) in C, far cheaper than sorting
+            # the (duplicate-heavy) neighbour list with np.unique.
+            mask = np.zeros(self.n_elements, dtype=bool)
+            mask[dirty] = True
+            if neighbours_of_dirty is not None and len(neighbours_of_dirty):
+                mask[neighbours_of_dirty] = True
+            self._active = np.flatnonzero(mask).astype(np.int64)
+            self.pushes += len(self._active)
+            self.rounds += 1
+            if span:
+                span.set(pushed=int(len(self._active)), round=self.rounds)
         return self._active
 
     def merge(self, elements: np.ndarray) -> int:
@@ -186,13 +190,16 @@ class WorkQueue:
         the number of *new* entries."""
         if not len(elements):
             return 0
-        mask = np.zeros(self.n_elements, dtype=bool)
-        mask[self._active] = True
-        before = len(self._active)
-        mask[elements] = True
-        self._active = np.flatnonzero(mask).astype(np.int64)
-        added = len(self._active) - before
-        self.pushes += added
+        with get_tracer().span("queue.merge", cat="schedule") as span:
+            mask = np.zeros(self.n_elements, dtype=bool)
+            mask[self._active] = True
+            before = len(self._active)
+            mask[elements] = True
+            self._active = np.flatnonzero(mask).astype(np.int64)
+            added = len(self._active) - before
+            self.pushes += added
+            if span:
+                span.set(offered=int(len(elements)), added=added)
         return added
 
     def reset(self) -> None:

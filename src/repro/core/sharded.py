@@ -50,6 +50,7 @@ from repro.core.scheduler import make_schedule
 from repro.core.state import LoopyState
 from repro.core.sweepstats import RunStats, SweepStats
 from repro.partition import Partition, make_partition
+from repro.telemetry import get_tracer
 
 __all__ = ["Shard", "ShardedGraph", "ShardedLoopyBP", "ShardedResult"]
 
@@ -476,6 +477,7 @@ class ShardedLoopyBP:
         ]
         exhaustive = all(s.exhaustive for s in schedules)
 
+        tracer = get_tracer()
         run_stats = RunStats()
         per_shard_stats: list[list[SweepStats]] = []
         history: list[float] = []
@@ -484,50 +486,70 @@ class ShardedLoopyBP:
         iteration = 0
 
         def sweep_one(i: int, active: np.ndarray):
-            return plans[i].sweep(active, want_downstream[i])
+            # the span lands on the worker thread's lane, so parallel
+            # shard sweeps render side by side in the trace
+            with tracer.span("shard.sweep", cat="shard") as span:
+                step = plans[i].sweep(active, want_downstream[i])
+                if span:
+                    span.set(shard=i, active=int(len(active)),
+                             **step.stats.as_dict())
+            return step
 
-        while iteration < crit.max_iterations:
-            iteration += 1
-            actives = [s.active for s in schedules]
-            if pool is not None and k > 1:
-                steps = list(pool.map(sweep_one, range(k), actives))
-            else:
-                steps = [sweep_one(i, actives[i]) for i in range(k)]
-            if instrument is not None:
-                # pool.map's join is a barrier: sweeps happen-before this
-                instrument.on_phase("exchange")
+        with tracer.span("bp.sharded_run", cat="bp") as run_span:
+            while iteration < crit.max_iterations:
+                iteration += 1
+                actives = [s.active for s in schedules]
+                if pool is not None and k > 1:
+                    steps = list(pool.map(sweep_one, range(k), actives))
+                else:
+                    steps = [sweep_one(i, actives[i]) for i in range(k)]
+                if instrument is not None:
+                    # pool.map's join is a barrier: sweeps happen-before this
+                    instrument.on_phase("exchange")
+                tracer.instant("shard.barrier", cat="shard",
+                               args={"iteration": iteration} if tracer.enabled
+                               else None)
 
-            global_delta = 0.0
-            round_stats = SweepStats()
-            shard_stats: list[SweepStats] = []
-            for i, step in enumerate(steps):
-                ds, dsp = step.downstream, step.downstream_priority
-                if ds is not None:
-                    # downstream sets can point at halo nodes / ghost edges
-                    # (local ids past the owned block) — those belong to
-                    # other shards' schedules and arrive via the exchange
-                    keep = ds < schedules[i].n_elements
-                    ds = ds[keep]
-                    dsp = dsp[keep] if dsp is not None else None
-                schedules[i].update(actives[i], step.deltas, ds, dsp)
-                schedules[i].charge(step.stats)
-                global_delta += step.global_delta
-                round_stats += step.stats
-                shard_stats.append(step.stats)
-            run_stats.append(round_stats)
-            per_shard_stats.append(shard_stats)
-            history.append(global_delta)
+                global_delta = 0.0
+                round_stats = SweepStats()
+                shard_stats: list[SweepStats] = []
+                for i, step in enumerate(steps):
+                    ds, dsp = step.downstream, step.downstream_priority
+                    if ds is not None:
+                        # downstream sets can point at halo nodes / ghost edges
+                        # (local ids past the owned block) — those belong to
+                        # other shards' schedules and arrive via the exchange
+                        keep = ds < schedules[i].n_elements
+                        ds = ds[keep]
+                        dsp = dsp[keep] if dsp is not None else None
+                    schedules[i].update(actives[i], step.deltas, ds, dsp)
+                    schedules[i].charge(step.stats)
+                    global_delta += step.global_delta
+                    round_stats += step.stats
+                    shard_stats.append(step.stats)
+                run_stats.append(round_stats)
+                per_shard_stats.append(shard_stats)
+                history.append(global_delta)
 
-            exchange_bytes += self._exchange(sharded, states, plans, schedules, cfg)
-            if instrument is not None:
-                # next round's submissions happen-after the exchange
-                instrument.on_phase("sweep")
+                with tracer.span("shard.exchange", cat="shard") as ex_span:
+                    moved = self._exchange(sharded, states, plans, schedules, cfg)
+                    if ex_span:
+                        ex_span.set(iteration=iteration, bytes=moved,
+                                    routes=len(sharded.routes))
+                exchange_bytes += moved
+                if instrument is not None:
+                    # next round's submissions happen-after the exchange
+                    instrument.on_phase("sweep")
 
-            if (exhaustive and crit.is_converged(global_delta)) or all(
-                s.drained for s in schedules
-            ):
-                converged = True
-                break
+                if (exhaustive and crit.is_converged(global_delta)) or all(
+                    s.drained for s in schedules
+                ):
+                    converged = True
+                    break
+            if run_span:
+                run_span.set(n_shards=k, schedule=cfg.schedule,
+                             paradigm=cfg.paradigm, iterations=iteration,
+                             converged=converged, exchange_bytes=exchange_bytes)
 
         beliefs = np.empty((sharded.n_nodes, sharded.n_states), dtype=_FLOAT)
         for sh, st in zip(shards, states):

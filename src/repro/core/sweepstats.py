@@ -69,6 +69,22 @@ class SweepStats:
     def total_bytes(self) -> int:
         return self.sequential_bytes + self.random_bytes
 
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view of every counter — the span-attribute payload
+        telemetry attaches to per-sweep spans (DESIGN.md §11)."""
+        return {
+            "nodes_processed": self.nodes_processed,
+            "edges_processed": self.edges_processed,
+            "flops": self.flops,
+            "sequential_bytes": self.sequential_bytes,
+            "random_bytes": self.random_bytes,
+            "random_accesses": self.random_accesses,
+            "atomic_ops": self.atomic_ops,
+            "queue_ops": self.queue_ops,
+            "reduction_elems": self.reduction_elems,
+            "kernel_launches": self.kernel_launches,
+        }
+
 
 @dataclass
 class RunStats:

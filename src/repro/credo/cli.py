@@ -55,6 +55,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "--train", action="store_true",
         help="fit the selector on the smoke-profile suite before selecting",
     )
+    run.add_argument(
+        "--trace", default=None, metavar="OUT.json",
+        help="record a Chrome trace of the run (open in Perfetto / "
+             "chrome://tracing)",
+    )
+
+    prof = sub.add_parser(
+        "profile",
+        help="run BP once with tracing on and export a Chrome trace + summary",
+    )
+    prof.add_argument("path", help="BIF / XML-BIF file, or MTX node file")
+    prof.add_argument("edge_path", nargs="?", default=None, help="MTX edge file")
+    prof.add_argument("--backend", default=None,
+                      help="force a backend; may be schedule-qualified")
+    prof.add_argument("--device", default="gtx1070",
+                      help="simulated GPU (gtx1070/v100/a100)")
+    prof.add_argument("--schedule", default=None,
+                      choices=("sync", "work_queue", "residual", "relaxed"))
+    prof.add_argument("--shards", type=int, default=None, metavar="N")
+    prof.add_argument("--partitioner", default=None,
+                      choices=("hash", "range", "bfs", "greedy"))
+    prof.add_argument("--threshold", type=float, default=1e-3)
+    prof.add_argument("--max-iterations", type=int, default=200)
+    prof.add_argument("--trace", default="trace.json", metavar="OUT.json",
+                      help="Chrome trace output path (default trace.json)")
+    prof.add_argument("--no-summary", action="store_true",
+                      help="skip the per-span aggregate table")
+    prof.add_argument("--verify-parity", action="store_true",
+                      help="also run untraced and fail unless posteriors "
+                           "are identical")
 
     feats = sub.add_parser("features", help="print a graph's metadata features")
     feats.add_argument("path")
@@ -115,6 +145,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="shard-sweep worker threads (default: --shards)")
     serve.add_argument("--stats", action="store_true",
                        help="print a metrics snapshot on exit")
+    serve.add_argument("--trace", default=None, metavar="OUT.json",
+                       help="record a Chrome trace of the serving session")
 
     query = sub.add_parser("query", help="query a running 'credo serve' instance")
     query.add_argument("model", help="registered model name")
@@ -140,6 +172,79 @@ def _parse_hostport(spec: str) -> tuple[str, int]:
     return host or "127.0.0.1", int(port)
 
 
+def _write_trace(tracer, path: str) -> None:
+    import json
+
+    from repro.telemetry import chrome_trace, trace_lanes
+
+    trace = chrome_trace(tracer.events)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh)
+    lanes = trace_lanes(trace)
+    n_lanes = sum(len(ts) for ts in lanes.values())
+    print(
+        f"trace: {path} ({len(tracer.events)} events, "
+        f"{len(lanes)} processes, {n_lanes} lanes)",
+        file=sys.stderr,
+    )
+
+
+def _cmd_profile(args) -> int:
+    from repro.core.convergence import ConvergenceCriterion
+    from repro.credo.runner import Credo
+    from repro.io.detect import load_graph
+    from repro.telemetry import Tracer, summary_table, use_tracer
+
+    credo = Credo(
+        device=args.device,
+        criterion=ConvergenceCriterion(
+            threshold=args.threshold, max_iterations=args.max_iterations
+        ),
+        schedule=args.schedule,
+    )
+    graph = load_graph(args.path, args.edge_path)
+
+    baseline = None
+    if args.verify_parity:
+        baseline = credo.run(
+            graph.copy(), backend=args.backend,
+            shards=args.shards, partitioner=args.partitioner,
+        )
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = credo.run(
+            graph.copy(), backend=args.backend,
+            shards=args.shards, partitioner=args.partitioner,
+        )
+
+    print(f"backend       {result.backend}")
+    print(f"schedule      {result.detail.get('schedule', '-')}")
+    print(f"iterations    {result.iterations}")
+    print(f"converged     {result.converged}")
+    print(f"wall time     {result.wall_time:.4f}s")
+    print(f"modeled time  {result.modeled_time:.4f}s")
+    if not args.no_summary:
+        print()
+        print(summary_table(tracer.events))
+    _write_trace(tracer, args.trace)
+
+    if baseline is not None:
+        drift = float(
+            np.max(np.abs(np.asarray(result.beliefs) - np.asarray(baseline.beliefs)))
+        )
+        if drift > 1e-12 or result.iterations != baseline.iterations:
+            print(
+                f"error: traced run diverged from untraced baseline "
+                f"(max |Δbelief| {drift:.3e}, iterations "
+                f"{result.iterations} vs {baseline.iterations})",
+                file=sys.stderr,
+            )
+            return 1
+        print("parity: traced == untraced", file=sys.stderr)
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import json
 
@@ -161,6 +266,12 @@ def _cmd_serve(args) -> int:
         partitioner=args.partitioner,
         shard_threads=args.shard_threads,
     )
+    tracer = None
+    if args.trace is not None:
+        from repro.telemetry import Tracer, set_tracer
+
+        tracer = Tracer()
+        set_tracer(tracer)
     server = InferenceServer(config)
     try:
         for spec in args.models:
@@ -185,6 +296,11 @@ def _cmd_serve(args) -> int:
             print(json.dumps(server.stats(), indent=2, sort_keys=True))
     finally:
         server.stop()
+        if tracer is not None:
+            from repro.telemetry import set_tracer
+
+            set_tracer(None)
+            _write_trace(tracer, args.trace)
     return 0
 
 
@@ -249,6 +365,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "serve":
         return _cmd_serve(args)
 
+    if args.command == "profile":
+        return _cmd_profile(args)
+
     if args.command == "query":
         return _cmd_query(args)
 
@@ -304,10 +423,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     if args.train:
         credo.train(profile="smoke", use_cases=("binary",))
-    result = credo.run_file(
-        args.path, args.edge_path, backend=args.backend,
-        shards=args.shards, partitioner=args.partitioner,
-    )
+    if args.trace is not None:
+        from repro.telemetry import Tracer, use_tracer
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            result = credo.run_file(
+                args.path, args.edge_path, backend=args.backend,
+                shards=args.shards, partitioner=args.partitioner,
+            )
+        _write_trace(tracer, args.trace)
+    else:
+        result = credo.run_file(
+            args.path, args.edge_path, backend=args.backend,
+            shards=args.shards, partitioner=args.partitioner,
+        )
     print(f"backend       {result.backend}")
     print(f"schedule      {result.detail.get('schedule', '-')}")
     if "n_shards" in result.detail or "n_devices" in result.detail:

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.graph import BeliefGraph
+from repro.telemetry import get_tracer
 
 __all__ = [
     "FEATURE_NAMES",
@@ -85,22 +86,27 @@ def extract_features(graph: BeliefGraph) -> np.ndarray:
     cached = cache.get("base")
     if cached is not None:
         return cached.copy()
-    in_deg, out_deg = _canonical_degrees(graph)
-    n = graph.n_nodes
-    m = int(in_deg.sum())  # canonical (undirected) edge count
-    max_in = float(in_deg.max(initial=0))
-    max_out = float(out_deg.max(initial=0))
-    avg_in = float(in_deg.mean()) if n else 0.0
-    feats = np.array(
-        [
-            float(n),
-            n / m if m else 0.0,
-            float(graph.n_states),
-            max_in / max_out if max_out > 0 else 0.0,
-            avg_in / max_in if max_in > 0 else 0.0,
-        ],
-        dtype=np.float64,
-    )
+    # spanned only on the cache-miss path: repeated selection is O(1)
+    # and should not clutter the trace
+    with get_tracer().span("credo.features", cat="credo") as sp:
+        in_deg, out_deg = _canonical_degrees(graph)
+        n = graph.n_nodes
+        m = int(in_deg.sum())  # canonical (undirected) edge count
+        max_in = float(in_deg.max(initial=0))
+        max_out = float(out_deg.max(initial=0))
+        avg_in = float(in_deg.mean()) if n else 0.0
+        feats = np.array(
+            [
+                float(n),
+                n / m if m else 0.0,
+                float(graph.n_states),
+                max_in / max_out if max_out > 0 else 0.0,
+                avg_in / max_in if max_in > 0 else 0.0,
+            ],
+            dtype=np.float64,
+        )
+        if sp:
+            sp.set(n_nodes=n, n_edges=graph.n_edges)
     cache["base"] = feats
     return feats.copy()
 

@@ -22,6 +22,7 @@ from repro.credo.selector import CredoSelector
 from repro.credo.training import build_training_set
 from repro.gpusim.arch import DeviceSpec, get_device
 from repro.io.detect import load_graph
+from repro.telemetry import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.serve.config import ServerConfig
@@ -175,7 +176,13 @@ class Credo:
     # ------------------------------------------------------------------
     def select(self, graph: BeliefGraph) -> str:
         """The backend Credo would choose for ``graph``."""
-        return self.selector.select(graph)
+        with get_tracer().span("credo.select", cat="credo") as sp:
+            choice = self.selector.select(graph)
+            if sp:
+                sp.set(backend=choice, n_nodes=graph.n_nodes,
+                       n_edges=graph.n_edges,
+                       fitted=self.selector._fitted)
+        return choice
 
     def select_schedule(self, graph: BeliefGraph, backend: str | None = None) -> str:
         """The scheduling policy Credo would choose for ``graph``."""
@@ -200,12 +207,15 @@ class Credo:
         ``None`` asks the selector, which only shards very large graphs
         (:data:`~repro.credo.selector.SHARD_AUTO_MIN_EDGES`).
         """
-        base_name, _, qualifier = (backend or self.select(graph)).partition(":")
-        schedule = qualifier or self.select_schedule(graph, base_name)
-        if shards is None:
-            shards = self.selector.select_sharding(graph)
-        if shards > 1 and not graph.uniform:
-            raise ValueError("sharded execution requires a uniform graph")
+        with get_tracer().span("credo.plan", cat="credo") as sp:
+            base_name, _, qualifier = (backend or self.select(graph)).partition(":")
+            schedule = qualifier or self.select_schedule(graph, base_name)
+            if shards is None:
+                shards = self.selector.select_sharding(graph)
+            if shards > 1 and not graph.uniform:
+                raise ValueError("sharded execution requires a uniform graph")
+            if sp:
+                sp.set(backend=base_name, schedule=schedule, shards=shards)
         return ExecutionPlan(
             backend=base_name,
             schedule=schedule,

@@ -18,6 +18,7 @@ from repro.gpusim.arch import DeviceSpec, get_device
 from repro.gpusim.kernel import KernelCost, launch_cost
 from repro.gpusim.memory import GpuOutOfMemoryError, MemoryTracker
 from repro.gpusim.transfer import transfer_time
+from repro.telemetry import get_tracer
 
 __all__ = ["GpuDevice", "GpuOutOfMemoryError", "TimeBreakdown"]
 
@@ -71,18 +72,30 @@ class GpuDevice:
         self.global_mem = MemoryTracker(self.spec.vram_bytes, "global")
         self.constant_mem = MemoryTracker(self.spec.constant_mem_bytes, "constant")
         self.kernel_count = 0
+        # One modeled-time trace lane per device ("cuda:N (<spec>)");
+        # a NullLane when tracing is off, so emits below are inert.
+        self._lane = get_tracer().lane("cuda", label=self.spec.name)
         # Context creation happens once per process; it dominates small
         # workloads (§4.1.1's 99.8 % management fraction).
+        start = self.elapsed
         self.elapsed += self.spec.context_init_seconds
         self.breakdown.allocation += self.spec.context_init_seconds
+        self._lane.emit("context_init", start, self.spec.context_init_seconds,
+                        thread="driver", cat="gpusim")
 
     # -- memory ----------------------------------------------------------
     def alloc(self, name: str, nbytes: int, *, space: str = "global") -> None:
         """Allocate a named buffer, paying the driver overhead."""
         tracker = self.constant_mem if space == "constant" else self.global_mem
         tracker.alloc(name, nbytes)
+        start = self.elapsed
         self.elapsed += self.spec.alloc_overhead_seconds
         self.breakdown.allocation += self.spec.alloc_overhead_seconds
+        if self._lane:
+            self._lane.emit(f"alloc {name}", start,
+                            self.spec.alloc_overhead_seconds,
+                            thread="driver", cat="gpusim",
+                            args={"bytes": int(nbytes), "space": space})
 
     def free(self, name: str, *, space: str = "global") -> None:
         """Release a named device buffer."""
@@ -97,15 +110,23 @@ class GpuDevice:
     def h2d(self, nbytes: int, *, calls: int = 1) -> float:
         """Account a host-to-device transfer; returns its modeled seconds."""
         dt = transfer_time(self.spec, nbytes, calls=calls)
+        start = self.elapsed
         self.elapsed += dt
         self.breakdown.transfer += dt
+        if self._lane:
+            self._lane.emit("h2d", start, dt, thread="pcie", cat="gpusim",
+                            args={"bytes": int(nbytes), "calls": calls})
         return dt
 
     def d2h(self, nbytes: int, *, calls: int = 1) -> float:
         """Account a device-to-host transfer; returns its modeled seconds."""
         dt = transfer_time(self.spec, nbytes, calls=calls)
+        start = self.elapsed
         self.elapsed += dt
         self.breakdown.transfer += dt
+        if self._lane:
+            self._lane.emit("d2h", start, dt, thread="pcie", cat="gpusim",
+                            args={"bytes": int(nbytes), "calls": calls})
         return dt
 
     # -- kernels -----------------------------------------------------------
@@ -128,6 +149,7 @@ class GpuDevice:
             threads_per_block=threads_per_block,
             random_access_bytes=random_access_bytes,
         )
+        start = self.elapsed
         self.elapsed += cost.total
         self.breakdown.launch += cost.launch
         # roofline: only the binding side accrues
@@ -139,6 +161,25 @@ class GpuDevice:
         self.breakdown.reduction += cost.reduction
         self.breakdown.queue += cost.queue
         self.kernel_count += max(stats.kernel_launches, 1)
+        if self._lane:
+            # full KernelCost decomposition — including the queue-
+            # maintenance cycles that TimeBreakdown alone lets callers
+            # overlook (they now travel with every traced launch)
+            self._lane.emit(
+                "kernel", start, cost.total, thread="kernels", cat="gpusim",
+                args={
+                    "launch_s": cost.launch,
+                    "compute_s": cost.compute,
+                    "memory_s": cost.memory,
+                    "atomics_s": cost.atomics,
+                    "reduction_s": cost.reduction,
+                    "queue_s": cost.queue,
+                    "launches": max(stats.kernel_launches, 1),
+                    "nodes": stats.nodes_processed,
+                    "edges": stats.edges_processed,
+                    "queue_ops": stats.queue_ops,
+                },
+            )
         return cost
 
     def reset(self) -> None:
@@ -148,3 +189,7 @@ class GpuDevice:
         self.global_mem.free_all()
         self.constant_mem.free_all()
         self.kernel_count = 0
+        # new simulated epoch: keep trace timestamps monotone on the lane
+        self._lane.reanchor()
+        self._lane.emit("context_init", 0.0, self.spec.context_init_seconds,
+                        thread="driver", cat="gpusim")

@@ -29,6 +29,7 @@ from typing import Callable, Sequence
 from repro.core.sweepstats import SweepStats
 from repro.gpusim.arch import DeviceSpec, get_device
 from repro.gpusim.device import GpuDevice
+from repro.telemetry import get_tracer
 
 __all__ = [
     "INTERCONNECTS",
@@ -104,6 +105,11 @@ class MultiGpuDevice:
         self.exchange_time = 0.0
         self.exchange_bytes = 0
         self.exchange_rounds = 0
+        # modeled lane for the device-to-device link (the devices each
+        # own a "cuda:N" lane already)
+        self._lane = get_tracer().lane(
+            "interconnect", label=self.interconnect.name
+        )
 
     @property
     def n_devices(self) -> int:
@@ -161,10 +167,15 @@ class MultiGpuDevice:
         if max_device_bytes is None:
             max_device_bytes = total_bytes / max(self.n_devices, 1)
         dt = self.interconnect.latency + max_device_bytes / self.interconnect.bandwidth
+        start = self.elapsed
         self.elapsed += dt
         self.exchange_time += dt
         self.exchange_bytes += int(total_bytes)
         self.exchange_rounds += 1
+        if self._lane:
+            self._lane.emit("exchange", start, dt, thread="link", cat="gpusim",
+                            args={"bytes": int(total_bytes),
+                                  "round": self.exchange_rounds})
         return dt
 
     @property

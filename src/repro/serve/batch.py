@@ -42,6 +42,8 @@ from repro.core.observation import observe
 from repro.core.potentials import PerEdgePotentialStore, SharedPotentialStore
 from repro.core.scheduler import make_schedule
 from repro.core.state import LoopyState
+from repro.core.sweepstats import RunStats, SweepStats
+from repro.telemetry import get_tracer
 
 __all__ = ["BatchQueryRun", "replicate_graph", "reset_union", "run_batched"]
 
@@ -54,6 +56,11 @@ class BatchQueryRun:
     iterations: int
     converged: bool
     delta_history: list[float] = field(default_factory=list)
+    #: operation counts of the *whole batched execution* (shared across
+    #: the batch — union sweeps are joint kernel calls, so per-query
+    #: attribution is not defined).  Includes the schedules' queue_ops,
+    #: which the batched path used to drop on the floor.
+    stats: SweepStats = field(default_factory=SweepStats)
 
 
 def replicate_graph(graph: BeliefGraph, k: int) -> BeliefGraph:
@@ -173,6 +180,8 @@ def run_batched(
     ]
     want_downstream = config.requeue_downstream and schedules[0].wants_downstream
 
+    tracer = get_tracer()
+    run_stats = RunStats()
     results: list[BatchQueryRun | None] = [None] * k
     histories: list[list[float]] = [[] for _ in range(k)]
     live = list(range(k))
@@ -180,8 +189,12 @@ def run_batched(
     while live and iteration < crit.max_iterations:
         iteration += 1
         actives = {q: schedules[q].active for q in live}
+        sweep_span = tracer.span("serve.union_sweep", cat="serve")
+        sweep_span.__enter__()
         if node_paradigm:
-            deltas_by_q = _node_union_sweep(state, config, live, actives, n)
+            deltas_by_q, iter_stats = _node_union_sweep(
+                state, config, live, actives, n
+            )
             globals_by_q = {q: float(deltas_by_q[q].sum()) for q in live}
             for q in live:
                 downstream = priority = None
@@ -195,7 +208,7 @@ def run_batched(
                         priority = np.repeat(dq[dirty_mask], sizes)
                 schedules[q].update(actives[q], dq, downstream, priority)
         else:
-            deltas_by_q, node_deltas_by_q, cand_by_q = _edge_union_sweep(
+            deltas_by_q, node_deltas_by_q, cand_by_q, iter_stats = _edge_union_sweep(
                 state, config, live, actives, graph, n, m
             )
             globals_by_q = {q: float(node_deltas_by_q[q].sum()) for q in live}
@@ -209,6 +222,16 @@ def run_batched(
                         downstream, sizes = _gather_out(graph, changed)
                         priority = np.repeat(nd[changed_mask], sizes)
                 schedules[q].update(actives[q], deltas_by_q[q], downstream, priority)
+
+        # the queue bookkeeping each replica's schedule performed this
+        # round — previously dropped by the batched path entirely
+        for q in live:
+            schedules[q].charge(iter_stats)
+        run_stats.append(iter_stats)
+        if sweep_span:
+            sweep_span.set(iteration=iteration, live=len(live),
+                           **iter_stats.as_dict())
+        sweep_span.__exit__(None, None, None)
 
         still_live = []
         for q in live:
@@ -239,6 +262,9 @@ def run_batched(
     # The union's belief store is NOT written back: per-query posteriors
     # were snapshotted at each query's own convergence point, and a
     # recycled union is reset from its priors before reuse anyway.
+    total = run_stats.total
+    for run in results:
+        run.stats = total
     return results, union
 
 
@@ -248,12 +274,13 @@ def _node_union_sweep(
     live: list[int],
     actives: dict[int, np.ndarray],
     n: int,
-) -> dict[int, np.ndarray]:
+) -> tuple[dict[int, np.ndarray], SweepStats]:
     """One node-paradigm sweep over every live replica's active nodes."""
     parts = [actives[q] + q * n for q in live if len(actives[q])]
+    stats = SweepStats()
     if parts:
         union_active = parts[0] if len(parts) == 1 else np.concatenate(parts)
-        deltas, _stats = node_sweep(
+        deltas, stats = node_sweep(
             state,
             union_active,
             update_rule=config.update_rule,
@@ -268,7 +295,7 @@ def _node_union_sweep(
         count = len(actives[q])
         out[q] = deltas[offset : offset + count]
         offset += count
-    return out
+    return out, stats
 
 
 def _edge_union_sweep(
@@ -306,6 +333,7 @@ def _edge_union_sweep(
     deltas_by_q = {
         q: np.empty(len(actives[q]), dtype=np.float32) for q in live
     }
+    stats = SweepStats()
     max_chunks = max((len(s) for s in slices_by_q.values()), default=0)
     for j in range(max_chunks):
         pieces = []
@@ -322,7 +350,7 @@ def _edge_union_sweep(
         if not pieces:
             continue
         union_chunk = pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
-        chunk_deltas, _touched, _stats = edge_sweep(
+        chunk_deltas, _touched, chunk_stats = edge_sweep(
             state,
             union_chunk,
             update_rule=config.update_rule,
@@ -330,6 +358,7 @@ def _edge_union_sweep(
             damping=config.damping,
             chunks=1,
         )
+        stats += chunk_stats
         offset = 0
         for q, lo, hi in spans:
             deltas_by_q[q][lo:hi] = chunk_deltas[offset : offset + (hi - lo)]
@@ -341,4 +370,4 @@ def _edge_union_sweep(
         ).sum(axis=1)
         for q in live
     }
-    return deltas_by_q, node_deltas_by_q, cand_by_q
+    return deltas_by_q, node_deltas_by_q, cand_by_q, stats

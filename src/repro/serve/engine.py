@@ -33,6 +33,7 @@ from repro.serve.cache import ResultCache, cache_key, copy_posteriors
 from repro.serve.config import ServerConfig
 from repro.serve.metrics import ServerMetrics
 from repro.serve.registry import RegisteredModel
+from repro.telemetry import get_tracer
 
 __all__ = ["QueryOutcome", "QueryEngine"]
 
@@ -133,8 +134,19 @@ class QueryEngine:
                     continue
             misses.append((i, frozen, use_cache))
 
+        hits = len(prepared) - len(misses)
         if misses:
-            self._run_misses(model, misses, outcomes)
+            with get_tracer().span("serve.engine", cat="serve") as sp:
+                self._run_misses(model, misses, outcomes)
+                if sp:
+                    sp.set(model=model.name, queries=len(queries),
+                           cache_hits=hits, cache_misses=len(misses),
+                           sharded=model.sharded is not None)
+        elif hits and get_tracer().enabled:
+            get_tracer().instant(
+                "serve.cache_hit", cat="serve",
+                args={"model": model.name, "queries": hits},
+            )
         return [out if out is not None else QueryOutcome(ok=False, error="internal")
                 for out in outcomes]
 

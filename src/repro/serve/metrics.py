@@ -7,125 +7,94 @@ is a plain dict of floats/ints so it can be JSON-dumped by
 ``credo serve --stats`` (or an ``{"op": "stats"}`` request) without any
 serialization helpers.
 
-Latency percentiles come from fixed log-spaced buckets (1 µs … ~2 min,
-two buckets per octave), the classic monitoring trade-off: bounded
-memory, ~±20 % bucket resolution, mergeable across threads.
+Since the telemetry subsystem landed (DESIGN.md §11) the primitives live
+in :mod:`repro.telemetry`: the log-bucketed histogram moved there as
+:class:`~repro.telemetry.Histogram` (re-exported here under its
+historical name ``LatencyHistogram``) and :class:`ServerMetrics` is a
+facade over a shared :class:`~repro.telemetry.MetricsRegistry`, so the
+server's counters appear in the same snapshot namespace as any other
+instrumented layer.
 """
 
 from __future__ import annotations
 
-import math
 import threading
 from collections import Counter
+
+from repro.telemetry import LatencyHistogram, MetricsRegistry
 
 __all__ = ["LatencyHistogram", "ServerMetrics"]
 
 
-class LatencyHistogram:
-    """Log-bucketed latency histogram with percentile estimation."""
-
-    #: bucket upper bounds double every ``2`` buckets (sqrt(2) ratio)
-    _BUCKETS_PER_OCTAVE = 2
-    _MIN_S = 1e-6
-    _N_BUCKETS = 2 * 27  # up to _MIN_S * 2**27 ≈ 134 s
-
-    def __init__(self) -> None:
-        self.counts = [0] * self._N_BUCKETS
-        self.count = 0
-        self.total = 0.0
-        self.max = 0.0
-
-    def _bucket(self, seconds: float) -> int:
-        if seconds <= self._MIN_S:
-            return 0
-        idx = int(math.log2(seconds / self._MIN_S) * self._BUCKETS_PER_OCTAVE) + 1
-        return min(idx, self._N_BUCKETS - 1)
-
-    def _bucket_upper(self, idx: int) -> float:
-        return self._MIN_S * 2.0 ** (idx / self._BUCKETS_PER_OCTAVE)
-
-    def record(self, seconds: float) -> None:
-        seconds = max(float(seconds), 0.0)
-        self.counts[self._bucket(seconds)] += 1
-        self.count += 1
-        self.total += seconds
-        self.max = max(self.max, seconds)
-
-    def percentile(self, p: float) -> float:
-        """Estimated ``p``-th percentile in seconds (0 when empty)."""
-        if self.count == 0:
-            return 0.0
-        rank = max(1, math.ceil(self.count * p / 100.0))
-        seen = 0
-        for idx, c in enumerate(self.counts):
-            seen += c
-            if seen >= rank:
-                return min(self._bucket_upper(idx), self.max)
-        return self.max
-
-    def snapshot(self) -> dict[str, float]:
-        mean = self.total / self.count if self.count else 0.0
-        return {
-            "count": self.count,
-            "mean_s": mean,
-            "p50_s": self.percentile(50),
-            "p95_s": self.percentile(95),
-            "p99_s": self.percentile(99),
-            "max_s": self.max,
-        }
-
-
 class ServerMetrics:
-    """Thread-safe counters and histograms for one server instance."""
+    """Thread-safe counters and histograms for one server instance.
+
+    Built on a :class:`MetricsRegistry` (one per instance unless an
+    existing registry is passed in); the legacy attribute surface
+    (``requests_total``, ``stages``, …) is preserved as views onto the
+    registry's instruments.
+    """
 
     STAGES = ("queue_wait", "select", "run", "total")
 
-    def __init__(self) -> None:
+    _COUNTERS = (
+        "requests_total",
+        "responses_total",
+        "rejected_total",
+        "deadline_expired_total",
+        "errors_total",
+        "batches_total",
+        "batched_queries_total",
+    )
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self._lock = threading.Lock()
-        self.stages = {name: LatencyHistogram() for name in self.STAGES}
-        self.requests_total = 0
-        self.responses_total = 0
-        self.rejected_total = 0
-        self.deadline_expired_total = 0
-        self.errors_total = 0
-        self.batches_total = 0
-        self.batched_queries_total = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        for name in self._COUNTERS:
+            self.registry.counter(f"serve.{name}")
+        self.stages = {
+            name: self.registry.histogram(f"serve.latency.{name}")
+            for name in self.STAGES
+        }
         self.batch_sizes: Counter[int] = Counter()
         #: backend name → {"queries": int, "iterations": int}
         self.backends: dict[str, dict[str, int]] = {}
         #: gauge callback installed by the server (admission queue depth)
         self.queue_depth_fn = lambda: 0
+        self.registry.gauge("serve.queue_depth", lambda: self.queue_depth_fn())
+
+    def __getattr__(self, name: str):
+        # legacy read access: metrics.requests_total et al.
+        if name in self._COUNTERS:
+            return self.registry.counter(f"serve.{name}").value
+        raise AttributeError(name)
 
     # -- recording -----------------------------------------------------
     def record_request(self) -> None:
-        with self._lock:
-            self.requests_total += 1
+        self.registry.counter("serve.requests_total").inc()
 
     def record_rejected(self) -> None:
-        with self._lock:
-            self.rejected_total += 1
+        self.registry.counter("serve.rejected_total").inc()
 
     def record_deadline_expired(self) -> None:
-        with self._lock:
-            self.deadline_expired_total += 1
+        self.registry.counter("serve.deadline_expired_total").inc()
 
     def record_error(self) -> None:
-        with self._lock:
-            self.errors_total += 1
+        self.registry.counter("serve.errors_total").inc()
 
     def record_stage(self, stage: str, seconds: float) -> None:
         with self._lock:
             self.stages[stage].record(seconds)
 
     def record_batch(self, size: int) -> None:
+        self.registry.counter("serve.batches_total").inc()
+        self.registry.counter("serve.batched_queries_total").inc(size)
         with self._lock:
-            self.batches_total += 1
-            self.batched_queries_total += size
             self.batch_sizes[size] += 1
 
     def record_query(self, backend: str, iterations: int) -> None:
+        self.registry.counter("serve.responses_total").inc()
         with self._lock:
-            self.responses_total += 1
             entry = self.backends.setdefault(
                 backend, {"queries": 0, "iterations": 0}
             )
@@ -135,12 +104,11 @@ class ServerMetrics:
     # -- reading -------------------------------------------------------
     def snapshot(self, cache_stats: dict | None = None) -> dict:
         """Plain-dict view of every metric (the ``--stats`` dump)."""
+        batches_total = self.batches_total
+        mean_batch = (
+            self.batched_queries_total / batches_total if batches_total else 0.0
+        )
         with self._lock:
-            mean_batch = (
-                self.batched_queries_total / self.batches_total
-                if self.batches_total
-                else 0.0
-            )
             return {
                 "requests_total": self.requests_total,
                 "responses_total": self.responses_total,
@@ -152,7 +120,7 @@ class ServerMetrics:
                     name: hist.snapshot() for name, hist in self.stages.items()
                 },
                 "batch": {
-                    "batches_total": self.batches_total,
+                    "batches_total": batches_total,
                     "mean_size": mean_batch,
                     "size_distribution": {
                         str(k): v for k, v in sorted(self.batch_sizes.items())

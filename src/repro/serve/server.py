@@ -25,6 +25,7 @@ from repro.serve.engine import QueryEngine, QueryOutcome
 from repro.serve.metrics import ServerMetrics
 from repro.serve.protocol import QueryRequest, QueryResponse
 from repro.serve.registry import ModelRegistry, UnknownModelError
+from repro.telemetry import get_tracer
 
 __all__ = ["InferenceServer"]
 
@@ -109,6 +110,11 @@ class InferenceServer:
         queue is at capacity (backpressure — the caller owns the retry).
         """
         self.metrics.record_request()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant("serve.admit", cat="serve",
+                           args={"model": request.model,
+                                 "depth": int(self.admission.depth())})
         if request.model not in self.registry:
             ticket = Ticket(request=request, model=request.model, enqueued_at=0.0)
             ticket.future.set_result(
@@ -190,10 +196,18 @@ class InferenceServer:
             self._serve_batch(batch)
 
     def _serve_batch(self, batch: list[Ticket]) -> None:
+        tracer = get_tracer()
         now = time.monotonic()
         runnable: list[Ticket] = []
         for ticket in batch:
-            self.metrics.record_stage("queue_wait", now - ticket.enqueued_at)
+            wait = now - ticket.enqueued_at
+            self.metrics.record_stage("queue_wait", wait)
+            if tracer.enabled:
+                # enqueued_at is time.monotonic(), a different clock than
+                # the tracer's — record the measured duration retroactively
+                # as a span ending now
+                tracer.complete("serve.queue_wait", wait, cat="serve",
+                                args={"model": ticket.model})
             if ticket.expired(now):
                 self.metrics.record_deadline_expired()
                 ticket.future.set_result(
@@ -212,7 +226,10 @@ class InferenceServer:
 
         select_start = time.perf_counter()
         try:
-            model = self.registry.get(runnable[0].model)
+            with tracer.span("serve.select", cat="serve") as sp:
+                model = self.registry.get(runnable[0].model)
+                if sp:
+                    sp.set(model=model.name, batch=len(runnable))
         except UnknownModelError:
             for ticket in runnable:
                 ticket.future.set_result(
@@ -230,7 +247,11 @@ class InferenceServer:
 
         run_start = time.perf_counter()
         try:
-            outcomes = self.engine.execute(model, [t.request for t in runnable])
+            with tracer.span("serve.run", cat="serve") as sp:
+                outcomes = self.engine.execute(model, [t.request for t in runnable])
+                if sp:
+                    sp.set(model=model.name, batch=len(runnable),
+                           backend=model.plan.backend)
         except Exception as exc:  # defensive: engine bugs must not hang futures
             for ticket in runnable:
                 ticket.future.set_result(

@@ -1,0 +1,52 @@
+"""Trace-file utilities: ``python -m repro.telemetry validate|lanes t.json``.
+
+``validate`` schema-checks an exported Chrome trace (exit 1 on
+problems); ``lanes`` prints the process/thread lanes it contains — the
+two commands the CI traced-smoke step runs against emitted artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.telemetry.export import trace_lanes, validate_chrome_trace
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.telemetry")
+    sub = parser.add_subparsers(dest="command", required=True)
+    val = sub.add_parser("validate", help="schema-check a Chrome trace JSON file")
+    val.add_argument("path")
+    val.add_argument("--min-lanes", type=int, default=0,
+                     help="fail unless the trace has at least this many lanes")
+    lanes = sub.add_parser("lanes", help="list a trace's process/thread lanes")
+    lanes.add_argument("path")
+    args = parser.parse_args(argv)
+
+    with open(args.path, encoding="utf-8") as fh:
+        trace = json.load(fh)
+
+    if args.command == "lanes":
+        for process, threads in trace_lanes(trace).items():
+            print(f"{process}: {', '.join(threads)}")
+        return 0
+
+    problems = validate_chrome_trace(trace)
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    lane_map = trace_lanes(trace)
+    n_lanes = sum(len(ts) for ts in lane_map.values())
+    print(f"{args.path}: {len(trace.get('traceEvents', []))} events, "
+          f"{len(lane_map)} processes, {n_lanes} lanes"
+          + ("" if not problems else f", {len(problems)} problems"))
+    if args.min_lanes and n_lanes < args.min_lanes:
+        print(f"error: expected at least {args.min_lanes} lanes, got {n_lanes}",
+              file=sys.stderr)
+        return 1
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,188 @@
+"""Counter / gauge / histogram registry (DESIGN.md §11).
+
+The metric primitives the whole stack shares.  :class:`Histogram` is the
+log-bucketed latency histogram that used to be private to
+``repro.serve.metrics`` (re-exported there as ``LatencyHistogram`` for
+compatibility), generalized with cross-thread :meth:`Histogram.merge` —
+bounded memory, ~±20 % bucket resolution, mergeable, the classic
+monitoring trade-off.
+
+A :class:`MetricsRegistry` names and owns instruments so independent
+layers (serve pipeline, benchmark harness, ad-hoc scripts) can share one
+snapshot without hand-rolled dict plumbing.  Everything is thread-safe
+and JSON-serializable via ``snapshot()``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable
+
+__all__ = ["Counter", "Gauge", "Histogram", "LatencyHistogram", "MetricsRegistry"]
+
+
+class Histogram:
+    """Log-bucketed histogram of seconds with percentile estimation.
+
+    Bucket upper bounds double every ``_BUCKETS_PER_OCTAVE`` buckets
+    (sqrt(2) ratio), 1 µs … ~134 s.  ``merge`` folds another histogram in
+    — the cross-thread aggregation path: record into thread-local
+    histograms without contention, merge once at snapshot time.
+    """
+
+    #: bucket upper bounds double every ``2`` buckets (sqrt(2) ratio)
+    _BUCKETS_PER_OCTAVE = 2
+    _MIN_S = 1e-6
+    _N_BUCKETS = 2 * 27  # up to _MIN_S * 2**27 ≈ 134 s
+
+    def __init__(self) -> None:
+        self.counts = [0] * self._N_BUCKETS
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def _bucket(self, seconds: float) -> int:
+        if seconds <= self._MIN_S:
+            return 0
+        idx = int(math.log2(seconds / self._MIN_S) * self._BUCKETS_PER_OCTAVE) + 1
+        return min(idx, self._N_BUCKETS - 1)
+
+    def _bucket_upper(self, idx: int) -> float:
+        return self._MIN_S * 2.0 ** (idx / self._BUCKETS_PER_OCTAVE)
+
+    def record(self, seconds: float) -> None:
+        seconds = max(float(seconds), 0.0)
+        self.counts[self._bucket(seconds)] += 1
+        self.count += 1
+        self.total += seconds
+        self.max = max(self.max, seconds)
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s samples into this histogram (bucket-wise)."""
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        self.max = max(self.max, other.max)
+        return self
+
+    __iadd__ = merge
+
+    def percentile(self, p: float) -> float:
+        """Estimated ``p``-th percentile in seconds (0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(self.count * p / 100.0))
+        seen = 0
+        for idx, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                return min(self._bucket_upper(idx), self.max)
+        return self.max
+
+    def snapshot(self) -> dict[str, float]:
+        mean = self.total / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "mean_s": mean,
+            "p50_s": self.percentile(50),
+            "p95_s": self.percentile(95),
+            "p99_s": self.percentile(99),
+            "max_s": self.max,
+        }
+
+
+#: historical name — this class lived in ``repro.serve.metrics``
+LatencyHistogram = Histogram
+
+
+class Counter:
+    """Monotonically increasing integer counter (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += int(n)
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time value: either set directly or read via callback."""
+
+    def __init__(self, fn: Callable[[], float] | None = None) -> None:
+        self._fn = fn
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def set_fn(self, fn: Callable[[], float]) -> None:
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshotted together.
+
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("requests").inc()
+    >>> reg.histogram("latency.run").record(0.012)
+    >>> reg.snapshot()["counters"]["requests"]
+    1
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter()
+            return inst
+
+    def gauge(self, name: str, fn: Callable[[], float] | None = None) -> Gauge:
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = self._gauges[name] = Gauge(fn)
+            elif fn is not None:
+                inst.set_fn(fn)
+            return inst
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                inst = self._histograms[name] = Histogram()
+            return inst
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of every instrument (JSON-serializable)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "gauges": {name: g.value for name, g in sorted(gauges.items())},
+            "histograms": {
+                name: h.snapshot() for name, h in sorted(histograms.items())
+            },
+        }
