@@ -18,6 +18,18 @@ global epoch counter.  A pair of accesses is then a race iff:
 * same array, intersecting rows, at least one write,
 * empty lockset intersection (no common lock held).
 
+The async shard policy (DESIGN.md §12) has no global barrier: shard
+epochs legitimately overlap in wall time, so a single global counter
+would flag phantom races between, say, shard 0's sweep and shard 2's
+merge.  Epochs are therefore *per domain*: each tracked array belongs to
+the ``shardN`` domain its name is prefixed with, and the driver's
+:meth:`RaceDetector.on_shard_phase` hook advances only that domain's
+clock.  An access's effective epoch is ``global + domain`` — global
+barriers (:meth:`on_phase`) still order everything, while shard-local
+phase edges order only that shard's arrays.  Cross-shard pairs can never
+false-positive anyway (the array name, domain prefix included, is part
+of the grouping key).
+
 Usage (also wired through ``QueryEngine.instrument``)::
 
     det = RaceDetector()
@@ -167,6 +179,9 @@ class RaceDetector:
         self._meta = threading.Lock()
         self._accesses: list[Access] = []
         self._epoch = 0
+        #: per-domain epoch offsets on top of the global clock (async
+        #: shard-local phase edges; see module docstring)
+        self._domain_epochs: dict[str, int] = {}
         self._phase = "start"
         self._locks: dict[str, _HeldLock] = {}
         self._local = threading.local()
@@ -186,12 +201,21 @@ class RaceDetector:
             st.messages = self.track(st.messages, f"shard{i}.messages")
 
     def on_phase(self, label: str) -> None:
-        """A barrier was crossed: accesses before/after can't race."""
+        """A global barrier was crossed: accesses before/after can't race."""
         with self._meta:
             self._epoch += 1
             self._phase = label
 
     next_epoch = on_phase  # alias for hand-driven tests
+
+    def on_shard_phase(self, shard: int, label: str) -> None:
+        """A shard-local phase edge (async policy): orders only accesses
+        to ``shard<shard>.*`` arrays — other shards' epochs, which may
+        legitimately overlap this one in wall time, are untouched."""
+        with self._meta:
+            domain = f"shard{shard}"
+            self._domain_epochs[domain] = self._domain_epochs.get(domain, 0) + 1
+            self._phase = f"{domain}:{label}"
 
     # -- public API ------------------------------------------------------
     def track(self, arr: np.ndarray, name: str) -> TrackedArray:
@@ -271,9 +295,18 @@ class RaceDetector:
         except ValueError:
             return ""
 
+    @staticmethod
+    def _domain_of(name: str) -> str:
+        """The epoch domain an array name belongs to (``""`` = global)."""
+        prefix, sep, _ = name.partition(".")
+        if sep and prefix.startswith("shard") and prefix[5:].isdigit():
+            return prefix
+        return ""
+
     def _record(self, name: str, rows: frozenset[int] | None, write: bool) -> None:
         site = self._site()
         locks = frozenset(self._held())
+        domain = self._domain_of(name)
         with self._meta:
             self._accesses.append(
                 Access(
@@ -282,7 +315,7 @@ class RaceDetector:
                     rows=rows,
                     write=write,
                     thread=threading.get_ident(),
-                    epoch=self._epoch,
+                    epoch=self._epoch + self._domain_epochs.get(domain, 0),
                     locks=locks,
                     site=site,
                 )

@@ -17,8 +17,8 @@ from typing import Iterator
 
 from repro.analysis.framework import Finding, Module, Rule, register
 
-#: modules kept only as deprecation shims (removal: repro 2.0)
-_SHIM_MODULES = {
+#: deprecation shims removed in repro 2.0 — importing them is now an error
+_REMOVED_MODULES = {
     "repro.core.residual": "repro.core.scheduler (ResidualBP)",
     "repro.core.workqueue": "repro.core.scheduler (WorkQueue)",
 }
@@ -26,7 +26,8 @@ _SHIM_MODULES = {
 _QUALIFIER_RE = re.compile(
     r"^(?P<base>[a-z][a-z0-9_-]*)"
     r"(?::(?P<schedule>[a-z][a-z0-9_-]*))?"
-    r"(?:@(?P<shards>\d+)x(?P<method>[a-z][a-z0-9_-]*))?$"
+    r"(?:@(?P<shards>\d+)x(?P<method>[a-z][a-z0-9_-]*)"
+    r"(?:\+(?P<policy>[a-z][a-z0-9_-]*)(?:~(?P<staleness>\d+))?)?)?$"
 )
 
 
@@ -44,7 +45,8 @@ def _registries():
 def validate_qualifier(spec: str) -> str | None:
     """Human-readable error for an unresolvable backend qualifier, else None.
 
-    Accepts the full grammar ``<backend>[:<schedule>][@<K>x<METHOD>]``
+    Accepts the full grammar
+    ``<backend>[:<schedule>][@<K>x<METHOD>[+<POLICY>[~<STALENESS>]]]``
     used by the registry and by :class:`repro.credo.runner.ExecutionPlan`.
     """
     registries = _registries()
@@ -53,7 +55,10 @@ def validate_qualifier(spec: str) -> str | None:
     backends, normalize_schedule, normalize_partitioner = registries
     match = _QUALIFIER_RE.match(spec)
     if match is None:
-        return f"{spec!r} does not match <backend>[:<schedule>][@<K>x<METHOD>]"
+        return (
+            f"{spec!r} does not match "
+            "<backend>[:<schedule>][@<K>x<METHOD>[+<POLICY>[~<STALENESS>]]]"
+        )
     base = match.group("base")
     if base not in backends:
         return f"unknown backend {base!r} (known: {', '.join(sorted(backends))})"
@@ -69,6 +74,45 @@ def validate_qualifier(spec: str) -> str | None:
             normalize_partitioner(method)
         except (KeyError, ValueError) as exc:
             return f"bad partitioner in {spec!r}: {exc}"
+    policy = match.group("policy")
+    if policy is not None:
+        error = _validate_shard_policy(policy)
+        if error is not None:
+            return f"bad shard policy in {spec!r}: {error}"
+        staleness = match.group("staleness")
+        if staleness is not None:
+            error = _validate_staleness(policy, int(staleness))
+            if error is not None:
+                return f"bad staleness in {spec!r}: {error}"
+    return None
+
+
+def _validate_shard_policy(name: str) -> str | None:
+    try:
+        from repro.core.shard_policies import normalize_shard_policy
+    except Exception:  # pragma: no cover - detached checkout
+        return None
+    try:
+        normalize_shard_policy(name)
+    except (KeyError, ValueError) as exc:
+        return str(exc)
+    return None
+
+
+def _validate_staleness(policy: str | None, staleness: int) -> str | None:
+    try:
+        from repro.core.shard_policies import normalize_shard_policy
+    except Exception:  # pragma: no cover - detached checkout
+        return None
+    if staleness < 0:
+        return "staleness must be non-negative"
+    if policy is not None:
+        try:
+            canonical = normalize_shard_policy(policy)
+        except (KeyError, ValueError):
+            return None  # the policy finding already covers this call
+        if canonical == "sync" and staleness:
+            return "the sync policy is staleness-free; use policy='async'"
     return None
 
 
@@ -86,27 +130,24 @@ def _validate_schedule(name: str) -> str | None:
 
 @register
 class DeprecatedShimRule(Rule):
-    """RPR301: imports of PR-3 deprecation shims / deprecated kwargs."""
+    """RPR301: imports of removed 2.0 shim modules / deprecated kwargs."""
 
     id = "RPR301"
     name = "deprecated-shim"
     severity = "warning"
     description = (
-        "internal import of a deprecation shim (repro.core.residual / "
+        "import of a module removed in repro 2.0 (repro.core.residual / "
         "repro.core.workqueue) or use of the edge_cut_fraction kwarg"
     )
 
     def check(self, module: Module) -> Iterator[Finding]:
-        # the shims themselves are allowed to exist
-        if module.rel_path.endswith(("core/residual.py", "core/workqueue.py")):
-            return
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
-                    if alias.name in _SHIM_MODULES:
+                    if alias.name in _REMOVED_MODULES:
                         yield self._shim_finding(module, node, alias.name)
             elif isinstance(node, ast.ImportFrom):
-                if node.module in _SHIM_MODULES:
+                if node.module in _REMOVED_MODULES:
                     yield self._shim_finding(module, node, node.module)
             elif isinstance(node, ast.Call):
                 func_name = self._call_name(node)
@@ -125,8 +166,8 @@ class DeprecatedShimRule(Rule):
         return self.finding(
             module,
             node,
-            f"import of deprecation shim {name} (removal: repro 2.0); "
-            f"import from {_SHIM_MODULES[name]} instead",
+            f"import of {name}, removed in repro 2.0; "
+            f"import from {_REMOVED_MODULES[name]} instead",
         )
 
     @staticmethod
@@ -240,4 +281,67 @@ class UnknownConfigKwargRule(Rule):
                         node,
                         f"LoopyConfig has no field {kw.arg!r} "
                         f"(known: {', '.join(sorted(fields))})",
+                    )
+
+
+@register
+class UnknownShardPolicyRule(Rule):
+    """RPR304: shard-policy / staleness values that don't resolve."""
+
+    id = "RPR304"
+    name = "unknown-shard-policy"
+    description = (
+        "policy=/shard_policy= literal not in the live shard-policy "
+        "registry, a negative staleness= literal, or staleness on the "
+        "staleness-free sync policy"
+    )
+
+    @staticmethod
+    def _int_literal(node: ast.AST) -> int | None:
+        """Plain or negated int literal (``-1`` parses as USub(1))."""
+        if isinstance(node, ast.Constant):
+            value = node.value
+            return value if type(value) is int else None
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            inner = UnknownShardPolicyRule._int_literal(node.operand)
+            return None if inner is None else -inner
+        return None
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            policy: str | None = None
+            policy_node: ast.AST | None = None
+            staleness: int | None = None
+            staleness_node: ast.AST | None = None
+            for kw in node.keywords:
+                if (
+                    kw.arg in ("policy", "shard_policy")
+                    and isinstance(kw.value, ast.Constant)
+                    and isinstance(kw.value.value, str)
+                ):
+                    policy, policy_node = kw.value.value, kw.value
+                elif kw.arg == "staleness":
+                    literal = self._int_literal(kw.value)
+                    if literal is not None:
+                        staleness, staleness_node = literal, kw.value
+            if policy is not None:
+                error = _validate_shard_policy(policy)
+                if error is not None:
+                    yield self.finding(
+                        module,
+                        policy_node,
+                        f"shard policy literal {policy!r} does not resolve: "
+                        f"{error}",
+                    )
+                    policy = None  # suppress the dependent staleness check
+            if staleness is not None:
+                error = _validate_staleness(policy, staleness)
+                if error is not None:
+                    yield self.finding(
+                        module,
+                        staleness_node,
+                        f"staleness literal {staleness!r} does not resolve: "
+                        f"{error}",
                     )

@@ -76,6 +76,11 @@ def _traced_run(run_fn):
                     converged=result.converged,
                     modeled_time_s=result.modeled_time,
                 )
+                # shard-policy observability: exported summaries read the
+                # barrier-idle / staleness columns straight off this span
+                for key in ("policy", "staleness", "barrier_idle_s"):
+                    if key in result.detail:
+                        sp.set(**{key: result.detail[key]})
         return result
 
     wrapper._telemetry_wrapped = True

@@ -25,6 +25,7 @@ from repro.gpusim.device import GpuOutOfMemoryError
 from repro.gpusim.multi import InterconnectSpec, MultiGpuDevice, get_interconnect
 from repro.gpusim.transfer import DEFAULT_CONVERGENCE_BATCH
 from repro.partition import Partition, make_partition
+from repro.telemetry import get_metrics
 
 __all__ = ["MultiGpuBackend"]
 
@@ -48,6 +49,9 @@ class MultiGpuBackend(Backend):
         threads_per_block: int = 1024,
         convergence_batch: int = DEFAULT_CONVERGENCE_BATCH,
         seed: int = 0,
+        policy: str = "sync",
+        staleness: int = 0,
+        steal_factor: int = 8,
     ):
         if n_devices < 1:
             raise ValueError("n_devices must be at least 1")
@@ -59,6 +63,9 @@ class MultiGpuBackend(Backend):
         self.threads_per_block = threads_per_block
         self.convergence_batch = max(1, convergence_batch)
         self.seed = seed
+        self.policy = policy
+        self.staleness = staleness
+        self.steal_factor = steal_factor
 
     def supports(self, graph: BeliefGraph) -> bool:
         if not graph.uniform:
@@ -130,22 +137,58 @@ class MultiGpuBackend(Backend):
             ]
         )
 
-        result, wall = self._timed(ShardedLoopyBP(config).run, sharded)
+        driver = ShardedLoopyBP(
+            config,
+            policy=self.policy,
+            staleness=self.staleness,
+            steal_factor=self.steal_factor,
+        )
+        result, wall = self._timed(driver.run, sharded)
 
         profile = sharded.exchange_profile()
         belief_bytes = 4.0 * graph.n_states
-        for i, shard_stats in enumerate(result.per_shard_stats, start=1):
-            fleet.launch_round(
-                shard_stats,
-                threads_per_block=self.threads_per_block,
-                random_access_bytes=belief_bytes,
-            )
-            if sharded.n_shards > 1 and profile["bytes_per_round"] > 0:
-                fleet.exchange(
-                    profile["bytes_per_round"], profile["max_device_bytes"]
+        barrier_idle = 0.0
+        base = [d.elapsed for d in fleet.devices]
+        if result.policy == "async" and result.staleness > 0:
+            # stale-synchronous replay: no per-round barrier, no periodic
+            # lockstep d2h convergence poll (each device decides from its
+            # resident deltas); halo publishes occupy the link while the
+            # other devices keep computing
+            fleet.begin_async()
+            for shard_stats, tick in zip(result.per_shard_stats, result.ticks):
+                fleet.async_launch(
+                    [
+                        s if i in tick.swept else None
+                        for i, s in enumerate(shard_stats)
+                    ],
+                    threads_per_block=self.threads_per_block,
+                    random_access_bytes=belief_bytes,
                 )
-            if i % self.convergence_batch == 0:
-                fleet.lockstep([lambda d: d.d2h(_FSIZE)] * sharded.n_shards)
+                if sharded.n_shards > 1 and tick.exchange_bytes > 0:
+                    fleet.async_exchange(tick.exchange_bytes)
+            fleet.finish_async()
+            # residual idle is only the end-of-run imbalance between
+            # device clocks — not a per-round wait
+            busy = [d.elapsed - b for d, b in zip(fleet.devices, base)]
+            barrier_idle = sum(max(busy, default=0.0) - t for t in busy)
+        else:
+            for i, shard_stats in enumerate(result.per_shard_stats, start=1):
+                before = [d.elapsed for d in fleet.devices]
+                dt = fleet.launch_round(
+                    shard_stats,
+                    threads_per_block=self.threads_per_block,
+                    random_access_bytes=belief_bytes,
+                )
+                barrier_idle += sum(
+                    dt - (d.elapsed - b)
+                    for d, b in zip(fleet.devices, before)
+                )
+                if sharded.n_shards > 1 and profile["bytes_per_round"] > 0:
+                    fleet.exchange(
+                        profile["bytes_per_round"], profile["max_device_bytes"]
+                    )
+                if i % self.convergence_batch == 0:
+                    fleet.lockstep([lambda d: d.d2h(_FSIZE)] * sharded.n_shards)
         # final posterior read-back: each device ships its owned rows
         fleet.lockstep(
             [
@@ -154,6 +197,7 @@ class MultiGpuBackend(Backend):
             ]
         )
 
+        get_metrics().histogram("sharded.barrier_idle_s").record(barrier_idle)
         return self._result_from_loopy(
             self.name,
             result,
@@ -168,4 +212,8 @@ class MultiGpuBackend(Backend):
             shard_balance=partition.balance,
             exchange_bytes=fleet.exchange_bytes,
             exchange_fraction=fleet.exchange_fraction,
+            policy=result.policy,
+            staleness=result.staleness,
+            stolen_items=result.stolen_items,
+            barrier_idle_s=barrier_idle,
         )

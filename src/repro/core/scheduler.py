@@ -44,8 +44,9 @@ other shards re-enqueue the owned elements they feed, so a drained shard
 wakes up when its neighbours are still moving.
 
 The §3.5 :class:`WorkQueue` and the legacy :class:`ResidualBP` entry
-point live here too; ``repro.core.workqueue`` and ``repro.core.residual``
-survive only as deprecation re-export shims.
+point live here too; the ``repro.core.workqueue`` and
+``repro.core.residual`` deprecation shims that once re-exported them
+were removed in 2.0 — this module is the only home.
 """
 
 from __future__ import annotations
@@ -281,6 +282,14 @@ class Schedule:
         check — the §3.5 termination condition."""
         return False
 
+    def pressure(self) -> float:
+        """Scheduling urgency: how much unconverged work this schedule
+        is holding.  The async sharded policy ranks shards by pressure
+        so hot shards sweep more often (Splash-style).  The base
+        implementation reports the full element count — right for
+        schedules that sweep everything every round."""
+        return float(self.n_elements)
+
     def charge(self, stats: SweepStats) -> None:
         """Account this round's scheduling overhead into ``stats``."""
 
@@ -328,6 +337,9 @@ class WorkQueueSchedule(Schedule):
     @property
     def drained(self) -> bool:
         return self.queue.empty
+
+    def pressure(self) -> float:
+        return float(len(self.queue))
 
     def charge(self, stats: SweepStats) -> None:
         # clear + atomic pushes (§3.5): one compare-and-push per survivor,
@@ -413,6 +425,14 @@ class ResidualSchedule(Schedule):
     @property
     def drained(self) -> bool:
         return not bool(np.any(self.priority >= self.element_threshold))
+
+    def pressure(self) -> float:
+        # residual mass still eligible; +inf (never-processed) entries
+        # are clamped so fresh shards rank high but finite
+        eligible = self.priority[self.priority >= self.element_threshold]
+        if not len(eligible):
+            return 0.0
+        return float(np.minimum(eligible, 1.0e6).sum())
 
     def charge(self, stats: SweepStats) -> None:
         # exact priority order: every push pays O(log n) heap levels, each

@@ -25,8 +25,13 @@ the unsharded kernel would read, and per-node accumulation order is
 preserved.  That is the posterior-equivalence argument behind the
 1e-6 parity suite (``tests/test_partition.py``).
 
-:class:`ShardedLoopyBP` drives any PR-1 schedule per shard.  After each
-round the exchange copies halo beliefs and ghost messages along
+:class:`ShardedLoopyBP` drives any PR-1 schedule per shard through a
+pluggable **shard execution policy**
+(:mod:`repro.core.shard_policies`): the default ``"sync"`` policy runs
+lockstep rounds with a full exchange and barrier (bit-exact with the
+unsharded kernels), while ``"async"`` runs bounded-staleness SSP ticks
+with pressure-ranked shard selection and region work stealing.  Either
+way the exchange copies halo beliefs and ghost messages along
 precomputed routes and *reactivates* the owned elements they feed via
 :meth:`~repro.core.scheduler.Schedule.reactivate`, so drained shards
 wake up while neighbours still move.  Shard sweeps are independent and
@@ -47,10 +52,11 @@ from repro.core.loopy import LoopyConfig, LoopyResult, _EdgePlan, _NodePlan
 from repro.core.observation import observe as _observe
 from repro.core.potentials import PerEdgePotentialStore, SharedPotentialStore
 from repro.core.scheduler import make_schedule
+from repro.core.shard_policies import ShardRun, exchange_routes, make_shard_policy
 from repro.core.state import LoopyState
-from repro.core.sweepstats import RunStats, SweepStats
+from repro.core.sweepstats import SweepStats
 from repro.partition import Partition, make_partition
-from repro.telemetry import get_tracer
+from repro.telemetry import get_metrics, get_tracer
 
 __all__ = ["Shard", "ShardedGraph", "ShardedLoopyBP", "ShardedResult"]
 
@@ -383,6 +389,16 @@ class ShardedResult(LoopyResult):
     exchange_bytes: int = 0
     #: per-iteration list of per-shard SweepStats (straggler analysis)
     per_shard_stats: list[list[SweepStats]] = field(default_factory=list)
+    #: shard execution policy that drove the run
+    policy: str = "sync"
+    #: SSP staleness bound the run allowed (0 under sync)
+    staleness: int = 0
+    #: async only: per-tick replay records for the cost models
+    ticks: list = field(default_factory=list)
+    #: max halo-snapshot age each shard consumed, in rounds
+    shard_staleness: list = field(default_factory=list)
+    #: work items executed on state clones by stealing workers
+    stolen_items: int = 0
 
     @property
     def n_shards(self) -> int:
@@ -391,19 +407,28 @@ class ShardedResult(LoopyResult):
 
 class ShardedLoopyBP:
     """Loopy BP over a :class:`ShardedGraph`: any schedule per shard,
-    boundary exchange + reactivation between rounds.
+    driven by a pluggable shard execution policy.
+
+    ``policy`` selects the execution model
+    (:data:`~repro.core.shard_policies.SHARD_POLICIES`): ``"sync"``
+    (default) is the bit-exact lockstep behaviour, ``"async"`` runs
+    bounded-staleness ticks — ``staleness`` rounds of halo-snapshot
+    age are tolerated (0 degenerates to lockstep) and each shard's
+    active set is over-partitioned into ``steal_factor`` regions that
+    idle workers steal.
 
     ``pool`` (an external ``ThreadPoolExecutor``) or ``max_workers``
     (own pool per run) enable parallel shard sweeps; the default is
     serial — numerics are identical either way, because every sweep
-    touches only its own shard and the exchange runs on the caller.
+    touches only its own shard (or a private clone) and the exchange
+    runs on the caller.
 
     ``instrument`` accepts any object with the
     :class:`~repro.analysis.races.RaceDetector` hook protocol —
     ``on_states(states)`` is called once after the per-shard states are
-    built (before any sweep), and ``on_phase(label)`` at every
-    fork-join barrier: after the parallel sweeps land ("exchange") and
-    after the serial boundary exchange ("sweep").
+    built (before any sweep), ``on_phase(label)`` at every global
+    fork-join barrier, and ``on_shard_phase(shard, label)`` (when
+    present) at per-shard epoch boundaries in async runs.
     """
 
     def __init__(
@@ -413,6 +438,9 @@ class ShardedLoopyBP:
         pool: ThreadPoolExecutor | None = None,
         max_workers: int | None = None,
         instrument=None,
+        policy: str = "sync",
+        staleness: int = 0,
+        steal_factor: int = 8,
         **overrides,
     ):
         base = config or LoopyConfig()
@@ -420,6 +448,12 @@ class ShardedLoopyBP:
         self._pool = pool
         self._max_workers = max_workers
         self._instrument = instrument
+        # validate eagerly so bad specs fail at construction, not run time
+        self.policy = make_shard_policy(
+            policy, staleness=staleness, steal_factor=steal_factor
+        )
+        self.staleness = int(staleness)
+        self.steal_factor = int(steal_factor)
 
     # ------------------------------------------------------------------
     def run(self, sharded: ShardedGraph) -> ShardedResult:
@@ -477,79 +511,35 @@ class ShardedLoopyBP:
         ]
         exhaustive = all(s.exhaustive for s in schedules)
 
+        run = ShardRun(
+            sharded=sharded,
+            states=states,
+            plans=plans,
+            schedules=schedules,
+            want_downstream=want_downstream,
+            exhaustive=exhaustive,
+            cfg=cfg,
+            pool=pool,
+            instrument=instrument,
+            workers=(getattr(pool, "_max_workers", 0) or 1)
+            if pool is not None else 1,
+        )
+
         tracer = get_tracer()
-        run_stats = RunStats()
-        per_shard_stats: list[list[SweepStats]] = []
-        history: list[float] = []
-        exchange_bytes = 0
-        converged = False
-        iteration = 0
-
-        def sweep_one(i: int, active: np.ndarray):
-            # the span lands on the worker thread's lane, so parallel
-            # shard sweeps render side by side in the trace
-            with tracer.span("shard.sweep", cat="shard") as span:
-                step = plans[i].sweep(active, want_downstream[i])
-                if span:
-                    span.set(shard=i, active=int(len(active)),
-                             **step.stats.as_dict())
-            return step
-
         with tracer.span("bp.sharded_run", cat="bp") as run_span:
-            while iteration < crit.max_iterations:
-                iteration += 1
-                actives = [s.active for s in schedules]
-                if pool is not None and k > 1:
-                    steps = list(pool.map(sweep_one, range(k), actives))
-                else:
-                    steps = [sweep_one(i, actives[i]) for i in range(k)]
-                if instrument is not None:
-                    # pool.map's join is a barrier: sweeps happen-before this
-                    instrument.on_phase("exchange")
-                tracer.instant("shard.barrier", cat="shard",
-                               args={"iteration": iteration} if tracer.enabled
-                               else None)
-
-                global_delta = 0.0
-                round_stats = SweepStats()
-                shard_stats: list[SweepStats] = []
-                for i, step in enumerate(steps):
-                    ds, dsp = step.downstream, step.downstream_priority
-                    if ds is not None:
-                        # downstream sets can point at halo nodes / ghost edges
-                        # (local ids past the owned block) — those belong to
-                        # other shards' schedules and arrive via the exchange
-                        keep = ds < schedules[i].n_elements
-                        ds = ds[keep]
-                        dsp = dsp[keep] if dsp is not None else None
-                    schedules[i].update(actives[i], step.deltas, ds, dsp)
-                    schedules[i].charge(step.stats)
-                    global_delta += step.global_delta
-                    round_stats += step.stats
-                    shard_stats.append(step.stats)
-                run_stats.append(round_stats)
-                per_shard_stats.append(shard_stats)
-                history.append(global_delta)
-
-                with tracer.span("shard.exchange", cat="shard") as ex_span:
-                    moved = self._exchange(sharded, states, plans, schedules, cfg)
-                    if ex_span:
-                        ex_span.set(iteration=iteration, bytes=moved,
-                                    routes=len(sharded.routes))
-                exchange_bytes += moved
-                if instrument is not None:
-                    # next round's submissions happen-after the exchange
-                    instrument.on_phase("sweep")
-
-                if (exhaustive and crit.is_converged(global_delta)) or all(
-                    s.drained for s in schedules
-                ):
-                    converged = True
-                    break
+            outcome = self.policy.execute(run)
             if run_span:
                 run_span.set(n_shards=k, schedule=cfg.schedule,
-                             paradigm=cfg.paradigm, iterations=iteration,
-                             converged=converged, exchange_bytes=exchange_bytes)
+                             paradigm=cfg.paradigm,
+                             policy=self.policy.name,
+                             staleness=self.staleness,
+                             iterations=outcome.iterations,
+                             converged=outcome.converged,
+                             exchange_bytes=outcome.exchange_bytes)
+
+        metrics = get_metrics()
+        for i, age in enumerate(outcome.shard_staleness):
+            metrics.gauge(f"sharded.staleness.shard{i}").set(age)
 
         beliefs = np.empty((sharded.n_nodes, sharded.n_states), dtype=_FLOAT)
         for sh, st in zip(shards, states):
@@ -560,72 +550,21 @@ class ShardedLoopyBP:
 
         return ShardedResult(
             beliefs=beliefs,
-            iterations=iteration,
-            converged=converged,
-            delta_history=history,
-            run_stats=run_stats,
+            iterations=outcome.iterations,
+            converged=outcome.converged,
+            delta_history=outcome.history,
+            run_stats=outcome.run_stats,
             config=cfg,
             partition=sharded.partition,
-            exchange_bytes=exchange_bytes,
-            per_shard_stats=per_shard_stats,
+            exchange_bytes=outcome.exchange_bytes,
+            per_shard_stats=outcome.per_shard_stats,
+            policy=self.policy.name,
+            staleness=self.staleness,
+            ticks=outcome.ticks,
+            shard_staleness=outcome.shard_staleness,
+            stolen_items=outcome.stolen_items,
         )
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _exchange(sharded, states, plans, schedules, cfg) -> int:
-        """Ship halo beliefs + ghost messages along the routes, then
-        reactivate the owned elements each change feeds."""
-        row_bytes = 4 * sharded.n_states
-        moved = 0
-        pending_nodes: list[list[np.ndarray]] = [[] for _ in states]
-        pending_node_delta: list[list[np.ndarray]] = [[] for _ in states]
-        pending_edges: list[list[np.ndarray]] = [[] for _ in states]
-        pending_edge_delta: list[list[np.ndarray]] = [[] for _ in states]
-
-        for route in sharded.routes:
-            producer = states[route.src]
-            consumer = states[route.dst]
-            thresh = plans[route.dst].element_threshold
-            if len(route.src_nodes):
-                fresh = producer.beliefs[route.src_nodes]
-                delta = np.abs(fresh - consumer.beliefs[route.dst_nodes]).sum(axis=1)
-                consumer.beliefs[route.dst_nodes] = fresh
-                changed = delta >= thresh
-                if changed.any():
-                    pending_nodes[route.dst].append(route.dst_nodes[changed])
-                    pending_node_delta[route.dst].append(delta[changed])
-            if len(route.src_edges):
-                fresh = producer.messages[route.src_edges]
-                delta = np.abs(fresh - consumer.messages[route.dst_edges]).sum(axis=1)
-                consumer.messages[route.dst_edges] = fresh
-                changed = delta >= thresh
-                if changed.any():
-                    pending_edges[route.dst].append(route.dst_edges[changed])
-                    pending_edge_delta[route.dst].append(delta[changed])
-            moved += route.rows * row_bytes
-
-        for i, st in enumerate(states):
-            edge_ids: list[np.ndarray] = []
-            priorities: list[np.ndarray] = []
-            if pending_nodes[i]:
-                halo = np.concatenate(pending_nodes[i])
-                deltas = np.concatenate(pending_node_delta[i])
-                sizes = st.out_offsets[halo + 1] - st.out_offsets[halo]
-                # out-edges of a halo node all terminate at owned nodes
-                edge_ids.append(st.gather_out_edges(halo))
-                priorities.append(np.repeat(deltas, sizes))
-            if pending_edges[i]:
-                ghost = np.concatenate(pending_edges[i])
-                # a ghost edge's reverse is the boundary edge we own
-                edge_ids.append(st.rev[ghost])
-                priorities.append(np.concatenate(pending_edge_delta[i]))
-            if not edge_ids:
-                continue
-            edges = np.concatenate(edge_ids)
-            prio = np.concatenate(priorities)
-            if cfg.paradigm == "node":
-                elements = st.dst[edges]
-            else:
-                elements = edges
-            schedules[i].reactivate(elements, prio)
-        return moved
+    #: kept as an API alias — the exchange now lives with the policies
+    _exchange = staticmethod(exchange_routes)

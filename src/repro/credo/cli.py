@@ -50,6 +50,16 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("hash", "range", "bfs", "greedy"),
         help="partitioning strategy for --shards (default bfs)",
     )
+    run.add_argument(
+        "--shard-policy", default=None, choices=("sync", "async"),
+        help="shard execution policy: lockstep rounds (sync, bit-exact) or "
+             "stale-synchronous ticks (async; see --staleness)",
+    )
+    run.add_argument(
+        "--staleness", type=int, default=None, metavar="K",
+        help="async halo staleness bound in rounds (0 degenerates to "
+             "lockstep; implies --shard-policy async when positive)",
+    )
     run.add_argument("--top", type=int, default=10, help="print the first N posteriors")
     run.add_argument(
         "--train", action="store_true",
@@ -76,6 +86,8 @@ def _build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--shards", type=int, default=None, metavar="N")
     prof.add_argument("--partitioner", default=None,
                       choices=("hash", "range", "bfs", "greedy"))
+    prof.add_argument("--shard-policy", default=None, choices=("sync", "async"))
+    prof.add_argument("--staleness", type=int, default=None, metavar="K")
     prof.add_argument("--threshold", type=float, default=1e-3)
     prof.add_argument("--max-iterations", type=int, default=200)
     prof.add_argument("--trace", default="trace.json", metavar="OUT.json",
@@ -141,6 +153,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--partitioner", default=None,
                        choices=("hash", "range", "bfs", "greedy"),
                        help="partitioning strategy for --shards (default bfs)")
+    serve.add_argument("--shard-policy", default="sync",
+                       choices=("sync", "async"),
+                       help="shard execution policy for --shards")
+    serve.add_argument("--staleness", type=int, default=0, metavar="K",
+                       help="async halo staleness bound in rounds")
     serve.add_argument("--shard-threads", type=int, default=None,
                        help="shard-sweep worker threads (default: --shards)")
     serve.add_argument("--stats", action="store_true",
@@ -193,7 +210,7 @@ def _cmd_profile(args) -> int:
     from repro.core.convergence import ConvergenceCriterion
     from repro.credo.runner import Credo
     from repro.io.detect import load_graph
-    from repro.telemetry import Tracer, summary_table, use_tracer
+    from repro.telemetry import Tracer, get_metrics, summary_table, use_tracer
 
     credo = Credo(
         device=args.device,
@@ -209,6 +226,7 @@ def _cmd_profile(args) -> int:
         baseline = credo.run(
             graph.copy(), backend=args.backend,
             shards=args.shards, partitioner=args.partitioner,
+            policy=args.shard_policy, staleness=args.staleness,
         )
 
     tracer = Tracer()
@@ -216,14 +234,24 @@ def _cmd_profile(args) -> int:
         result = credo.run(
             graph.copy(), backend=args.backend,
             shards=args.shards, partitioner=args.partitioner,
+            policy=args.shard_policy, staleness=args.staleness,
         )
 
     print(f"backend       {result.backend}")
     print(f"schedule      {result.detail.get('schedule', '-')}")
+    if "policy" in result.detail:
+        print(f"shard policy  {result.detail['policy']} "
+              f"(staleness {result.detail.get('staleness', 0)})")
+        print(f"barrier idle  {result.detail.get('barrier_idle_s', 0.0):.6f}s")
     print(f"iterations    {result.iterations}")
     print(f"converged     {result.converged}")
     print(f"wall time     {result.wall_time:.4f}s")
     print(f"modeled time  {result.modeled_time:.4f}s")
+    idle = get_metrics().histogram("sharded.barrier_idle_s").snapshot()
+    if idle.get("count"):
+        print(f"barrier idle  count {int(idle['count'])}, "
+              f"mean {idle['mean_s']:.6f}s, p95 {idle['p95_s']:.6f}s, "
+              f"max {idle['max_s']:.6f}s")
     if not args.no_summary:
         print()
         print(summary_table(tracer.events))
@@ -265,6 +293,8 @@ def _cmd_serve(args) -> int:
         shards=args.shards,
         partitioner=args.partitioner,
         shard_threads=args.shard_threads,
+        shard_policy=args.shard_policy,
+        staleness=args.staleness,
     )
     tracer = None
     if args.trace is not None:
@@ -431,12 +461,14 @@ def main(argv: list[str] | None = None) -> int:
             result = credo.run_file(
                 args.path, args.edge_path, backend=args.backend,
                 shards=args.shards, partitioner=args.partitioner,
+                policy=args.shard_policy, staleness=args.staleness,
             )
         _write_trace(tracer, args.trace)
     else:
         result = credo.run_file(
             args.path, args.edge_path, backend=args.backend,
             shards=args.shards, partitioner=args.partitioner,
+            policy=args.shard_policy, staleness=args.staleness,
         )
     print(f"backend       {result.backend}")
     print(f"schedule      {result.detail.get('schedule', '-')}")
@@ -444,6 +476,10 @@ def main(argv: list[str] | None = None) -> int:
         shards = result.detail.get("n_shards", result.detail.get("n_devices"))
         print(f"shards        {shards} ({result.detail.get('partitioner', '-')}, "
               f"cut {result.detail.get('cut_fraction', 0.0):.3f})")
+    if result.detail.get("policy"):
+        print(f"shard policy  {result.detail['policy']} "
+              f"(staleness {result.detail.get('staleness', 0)}, "
+              f"barrier idle {result.detail.get('barrier_idle_s', 0.0):.6f}s)")
     print(f"iterations    {result.iterations}")
     print(f"converged     {result.converged}")
     print(f"wall time     {result.wall_time:.4f}s")

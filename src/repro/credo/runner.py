@@ -41,17 +41,28 @@ class ExecutionPlan:
 
     ``shards > 1`` freezes a sharded execution: the graph is split by
     ``partitioner`` and swept shard-parallel (DESIGN.md §9) on the
-    platform the selected backend implies.
+    platform the selected backend implies.  ``policy`` picks the shard
+    execution policy (DESIGN.md §12): ``"sync"`` for bit-exact lockstep
+    rounds, ``"async"`` for stale-synchronous ticks that consume halo
+    snapshots up to ``staleness`` rounds old.
     """
 
     backend: str
     schedule: str
     shards: int = 1
     partitioner: str | None = None
+    policy: str = "sync"
+    staleness: int = 0
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError("shards must be at least 1")
+        if self.staleness < 0:
+            raise ValueError("staleness must be non-negative")
+        if self.policy == "sync" and self.staleness:
+            raise ValueError(
+                "the sync policy is staleness-free; use policy='async'"
+            )
 
     @property
     def paradigm(self) -> str:
@@ -68,10 +79,13 @@ class ExecutionPlan:
     @property
     def qualified(self) -> str:
         """The ``"<backend>:<schedule>"`` registry-style name; sharded
-        plans carry an ``@<shards>x<partitioner>`` suffix."""
+        plans carry an ``@<shards>x<partitioner>`` suffix, async ones a
+        further ``+<policy>~<staleness>``."""
         base = f"{self.backend}:{self.schedule}"
         if self.sharded:
-            return f"{base}@{self.shards}x{self.partitioner or 'bfs'}"
+            base = f"{base}@{self.shards}x{self.partitioner or 'bfs'}"
+            if self.policy != "sync":
+                base = f"{base}+{self.policy}~{self.staleness}"
         return base
 
 
@@ -197,6 +211,8 @@ class Credo:
         backend: str | None = None,
         shards: int | None = None,
         partitioner: str | None = None,
+        policy: str | None = None,
+        staleness: int | None = None,
     ) -> ExecutionPlan:
         """Run selection once and freeze the decision for reuse.
 
@@ -206,6 +222,9 @@ class Credo:
         is chosen.  ``shards=`` pins the shard count (1 disables);
         ``None`` asks the selector, which only shards very large graphs
         (:data:`~repro.credo.selector.SHARD_AUTO_MIN_EDGES`).
+        ``policy=``/``staleness=`` pin the shard execution policy; left
+        ``None``, the selector picks async staleness on heavy-tailed
+        graphs and bit-exact sync everywhere else.
         """
         with get_tracer().span("credo.plan", cat="credo") as sp:
             base_name, _, qualifier = (backend or self.select(graph)).partition(":")
@@ -214,13 +233,27 @@ class Credo:
                 shards = self.selector.select_sharding(graph)
             if shards > 1 and not graph.uniform:
                 raise ValueError("sharded execution requires a uniform graph")
+            if shards > 1:
+                if policy is None and staleness is None:
+                    policy, staleness = self.selector.select_shard_policy(
+                        graph, shards
+                    )
+                elif policy is None:
+                    policy = "async" if staleness else "sync"
+                elif staleness is None:
+                    staleness = 1 if policy == "async" else 0
+            else:
+                policy, staleness = "sync", 0
             if sp:
-                sp.set(backend=base_name, schedule=schedule, shards=shards)
+                sp.set(backend=base_name, schedule=schedule, shards=shards,
+                       policy=policy, staleness=staleness)
         return ExecutionPlan(
             backend=base_name,
             schedule=schedule,
             shards=shards,
             partitioner=(partitioner or "bfs") if shards > 1 else partitioner,
+            policy=policy,
+            staleness=staleness,
         )
 
     def _sharded_backend(self, plan: ExecutionPlan) -> Backend:
@@ -230,7 +263,8 @@ class Credo:
         one simulated device per shard (:class:`MultiGpuBackend`), CPU
         selections a thread-pool :class:`ShardedCpuBackend`.
         """
-        key = (plan.backend, plan.shards, plan.partitioner)
+        key = (plan.backend, plan.shards, plan.partitioner,
+               plan.policy, plan.staleness)
         engine = self._sharded.get(key)
         if engine is None:
             from repro.backends.multigpu import MultiGpuBackend
@@ -243,12 +277,16 @@ class Credo:
                     n_devices=plan.shards,
                     partitioner=partitioner,
                     paradigm=plan.paradigm,
+                    policy=plan.policy,
+                    staleness=plan.staleness,
                 )
             else:
                 engine = ShardedCpuBackend(
                     n_shards=plan.shards,
                     partitioner=partitioner,
                     paradigm=plan.paradigm,
+                    policy=plan.policy,
+                    staleness=plan.staleness,
                 )
             self._sharded[key] = engine
         return engine
@@ -262,6 +300,8 @@ class Credo:
         plan: ExecutionPlan | None = None,
         shards: int | None = None,
         partitioner: str | None = None,
+        policy: str | None = None,
+        staleness: int | None = None,
     ) -> RunResult:
         """Select (or honour ``backend=``/``schedule=``/``plan=``) and
         execute BP.
@@ -270,8 +310,9 @@ class Credo:
         in which case the qualifier wins unless ``schedule=`` is given.
         ``plan`` short-circuits selection entirely (amortized serving
         path); it is mutually exclusive with the other two.
-        ``shards``/``partitioner`` request shard-parallel execution
-        (equivalent to planning with the same values).
+        ``shards``/``partitioner``/``policy``/``staleness`` request
+        shard-parallel execution (equivalent to planning with the same
+        values).
         """
         if plan is not None:
             if backend is not None or schedule is not None or shards is not None:
@@ -280,7 +321,8 @@ class Credo:
                 )
         elif shards is not None and shards > 1:
             plan = self.plan(graph, backend=backend, shards=shards,
-                             partitioner=partitioner)
+                             partitioner=partitioner, policy=policy,
+                             staleness=staleness)
         if plan is not None:
             if plan.sharded:
                 engine = self._sharded_backend(plan)
@@ -331,9 +373,12 @@ class Credo:
         backend: str | None = None,
         shards: int | None = None,
         partitioner: str | None = None,
+        policy: str | None = None,
+        staleness: int | None = None,
     ) -> RunResult:
         """Load a graph file (BIF / XML-BIF / MTX dual-file) and run it."""
         graph = load_graph(path, edge_path)
         return self.run(
-            graph, backend=backend, shards=shards, partitioner=partitioner
+            graph, backend=backend, shards=shards, partitioner=partitioner,
+            policy=policy, staleness=staleness,
         )

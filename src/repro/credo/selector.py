@@ -127,6 +127,23 @@ class CredoSelector:
             return "work_queue"
         return "relaxed" if backend.startswith("cuda") else "residual"
 
+    def select_shard_policy(self, graph: BeliefGraph, shards: int) -> tuple[str, int]:
+        """``(policy, staleness)`` for a ``shards``-way execution.
+
+        Lockstep rounds only hurt when shards finish unevenly, so the
+        async policy is chosen on the same heavy-tail signal as priority
+        scheduling: hub-concentrated graphs produce skewed shard loads
+        whose stragglers the bounded-staleness ticks and work stealing
+        absorb.  Balanced graphs keep the bit-exact sync policy.
+        """
+        if shards <= 1:
+            return ("sync", 0)
+        feats = extract_schedule_features(graph)
+        degree_cv, hub_mass = float(feats[-2]), float(feats[-1])
+        if degree_cv > 1.0 or hub_mass > 0.25:
+            return ("async", 1)
+        return ("sync", 0)
+
     def select_sharding(self, graph: BeliefGraph, *, max_shards: int = 8) -> int:
         """How many shards to split ``graph`` into (1 = don't shard).
 

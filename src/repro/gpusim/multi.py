@@ -5,7 +5,11 @@ execution model of §9: each shard's kernels run on its own
 :class:`~repro.gpusim.device.GpuDevice`, devices advance in lockstep
 (bulk-synchronous rounds — the slowest device sets the round time), and
 boundary payloads move over a modeled device-to-device interconnect
-instead of PCIe-to-host.
+instead of PCIe-to-host.  The stale-synchronous mode (``begin_async`` /
+``async_launch`` / ``async_exchange`` / ``finish_async``) drops the
+per-round barrier entirely: devices run on private clocks, halo traffic
+occupies the link concurrently with compute, and the wall clock is the
+busiest device or the link — whichever dominates.
 
 Two interconnect presets bracket the design space the multi-GPU BP
 literature cares about:
@@ -176,6 +180,66 @@ class MultiGpuDevice:
             self._lane.emit("exchange", start, dt, thread="link", cat="gpusim",
                             args={"bytes": int(total_bytes),
                                   "round": self.exchange_rounds})
+        return dt
+
+    # -- stale-synchronous (async) replay ------------------------------
+    def begin_async(self) -> None:
+        """Enter barrier-free mode: devices advance on private clocks and
+        the link accumulates occupancy; :meth:`finish_async` reconciles."""
+        self._async_start = self.elapsed
+        self._async_base = [d.elapsed for d in self.devices]
+        self._async_link = 0.0
+
+    def async_launch(
+        self,
+        stats: Sequence[SweepStats | None],
+        *,
+        threads_per_block: int = 1024,
+        random_access_bytes: float | None = None,
+    ) -> None:
+        """One async tick's kernels: each busy device launches on its own
+        clock — no lockstep, no wall-clock barrier."""
+        for device, s in zip(self.devices, stats):
+            if s is None:
+                continue
+            device.launch(
+                s,
+                threads_per_block=threads_per_block,
+                random_access_bytes=random_access_bytes,
+            )
+
+    def async_exchange(
+        self, total_bytes: float, max_device_bytes: float | None = None
+    ) -> float:
+        """One stale-halo publish: transfers overlap compute, so the cost
+        lands on the link's occupancy, not the wall clock directly."""
+        if max_device_bytes is None:
+            max_device_bytes = total_bytes / max(self.n_devices, 1)
+        dt = self.interconnect.latency + max_device_bytes / self.interconnect.bandwidth
+        self._async_link += dt
+        self.exchange_time += dt
+        self.exchange_bytes += int(total_bytes)
+        self.exchange_rounds += 1
+        if self._lane:
+            self._lane.emit(
+                "stale-exchange",
+                self._async_start + self._async_link - dt,
+                dt,
+                thread="link",
+                cat="gpusim",
+                args={"bytes": int(total_bytes), "round": self.exchange_rounds},
+            )
+        return dt
+
+    def finish_async(self) -> float:
+        """Leave barrier-free mode: wall clock advances by the busiest
+        device — or the link, when halo traffic is the bottleneck."""
+        compute = max(
+            (d.elapsed - base for d, base in zip(self.devices, self._async_base)),
+            default=0.0,
+        )
+        dt = max(compute, self._async_link)
+        self.elapsed = self._async_start + dt
         return dt
 
     @property

@@ -10,6 +10,11 @@ Credo's selector and the serving layer — reads those numbers instead of
 guessing.
 """
 
+from repro.partition.overpartition import (
+    OverPartition,
+    measure_partition,
+    overpartition,
+)
 from repro.partition.partitioners import (
     PARTITIONERS,
     Partition,
@@ -23,11 +28,14 @@ from repro.partition.partitioners import (
 
 __all__ = [
     "PARTITIONERS",
+    "OverPartition",
     "Partition",
     "bfs_partition",
     "greedy_partition",
     "hash_partition",
     "make_partition",
+    "measure_partition",
     "normalize_partitioner",
+    "overpartition",
     "range_partition",
 ]

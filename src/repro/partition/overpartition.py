@@ -1,0 +1,131 @@
+"""Over-partitioning: shards × factor stealable regions (DESIGN.md §12).
+
+The async shard policy steals *regions*, not whole shards: each shard's
+owned nodes are banded into ``factor`` contiguous local-id ranges, giving
+``n_shards × factor`` units an idle worker can pick up from a straggler
+without touching ownership or the halo routes.  The banding rule here is
+the same one :class:`~repro.core.shard_policies.AsyncShardPolicy` applies
+at run time — ``region = min(local_rank * factor // n_owned, factor-1)``
+over the shard's ascending owned ids — so the measured region stats
+(edge load per region, worst/ideal imbalance) predict exactly the units
+the work-stealing scheduler moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.partition.partitioners import Partition, _measure
+
+if TYPE_CHECKING:  # pragma: no cover - repro.core imports this package
+    from repro.core.graph import BeliefGraph
+
+__all__ = ["OverPartition", "measure_partition", "overpartition"]
+
+
+def measure_partition(
+    graph: BeliefGraph, assignment: np.ndarray, *, method: str = "custom"
+) -> Partition:
+    """Measure an externally supplied node → shard assignment.
+
+    The skew benchmarks and tests build deliberate (unbalanced)
+    assignments by hand; this wraps them in a :class:`Partition` with the
+    same measured cut/balance statistics the partitioners produce.
+    """
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if assignment.shape != (graph.n_nodes,):
+        raise ValueError(
+            f"assignment must have shape ({graph.n_nodes},), "
+            f"got {assignment.shape}"
+        )
+    if assignment.size and assignment.min() < 0:
+        raise ValueError("assignment contains negative shard ids")
+    n_shards = int(assignment.max()) + 1 if assignment.size else 1
+    return _measure(graph, assignment, n_shards, method)
+
+
+@dataclass(frozen=True, eq=False)
+class OverPartition:
+    """A base partition refined into ``n_shards × factor`` regions."""
+
+    base: Partition
+    factor: int
+    #: node → global region id (``shard * factor + local_region``)
+    region_assignment: np.ndarray = field(repr=False)
+    #: nodes per global region
+    region_nodes: np.ndarray = field(repr=False)
+    #: directed edges owned (by destination) per global region
+    region_edges: np.ndarray = field(repr=False)
+
+    @property
+    def n_regions(self) -> int:
+        return self.base.n_shards * self.factor
+
+    @property
+    def region_balance(self) -> float:
+        """Max region edge load over the ideal — the granularity limit on
+        what work stealing can level out (1.0 = perfectly stealable)."""
+        total = int(self.region_edges.sum())
+        if total == 0:
+            return 1.0
+        occupied = max(int(np.count_nonzero(self.region_edges)), 1)
+        return float(self.region_edges.max()) * occupied / total
+
+    def regions_of(self, shard: int) -> range:
+        """Global region ids carved out of ``shard``."""
+        return range(shard * self.factor, (shard + 1) * self.factor)
+
+    def stats(self) -> dict:
+        """Measured numbers for the cost models and Credo features."""
+        out = self.base.stats()
+        out.update(
+            factor=float(self.factor),
+            n_regions=float(self.n_regions),
+            region_balance=self.region_balance,
+        )
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"OverPartition(method={self.base.method!r}, "
+            f"n_shards={self.base.n_shards}, factor={self.factor}, "
+            f"region_balance={self.region_balance:.2f})"
+        )
+
+
+def overpartition(
+    graph: BeliefGraph, partition: Partition, factor: int
+) -> OverPartition:
+    """Band each shard of ``partition`` into ``factor`` contiguous regions.
+
+    Deterministic, and intentionally identical to the async policy's
+    run-time banding: regions split each shard's ascending owned-node
+    list into ``factor`` near-equal ranges.
+    """
+    if factor < 1:
+        raise ValueError("factor must be at least 1")
+    region = np.zeros(graph.n_nodes, dtype=np.int64)
+    for shard in range(partition.n_shards):
+        owned = partition.nodes_of(shard)
+        if owned.size == 0:
+            continue
+        ranks = np.arange(owned.size, dtype=np.int64)
+        local = np.minimum(ranks * factor // owned.size, factor - 1)
+        region[owned] = shard * factor + local
+    n_regions = partition.n_shards * factor
+    region_nodes = np.bincount(region, minlength=n_regions).astype(np.int64)
+    region_edges = (
+        np.bincount(region[graph.dst], minlength=n_regions).astype(np.int64)
+        if graph.n_edges
+        else np.zeros(n_regions, dtype=np.int64)
+    )
+    return OverPartition(
+        base=partition,
+        factor=factor,
+        region_assignment=region,
+        region_nodes=region_nodes,
+        region_edges=region_edges,
+    )

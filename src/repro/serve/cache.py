@@ -26,9 +26,17 @@ def cache_key(
     max_iterations: int,
     backend: str,
     schedule: str,
+    policy: str = "sync",
+    staleness: int = 0,
 ) -> tuple:
-    """Canonical cache key; ``evidence`` must be sorted (node, state) pairs."""
-    return (model, generation, evidence, threshold, max_iterations, backend, schedule)
+    """Canonical cache key; ``evidence`` must be sorted (node, state) pairs.
+
+    ``policy``/``staleness`` distinguish sync from stale-synchronous
+    sharded executions — async posteriors are approximate, so they never
+    alias a sync entry.
+    """
+    return (model, generation, evidence, threshold, max_iterations, backend,
+            schedule, policy, staleness)
 
 
 class ResultCache:

@@ -57,6 +57,13 @@ class ServerConfig:
     shard_threads:
         Worker threads in the engine's shard pool; ``None`` sizes it to
         the largest registered shard count.
+    shard_policy, staleness:
+        Shard execution policy (DESIGN.md §12): ``"sync"`` sweeps
+        lockstep rounds (bit-exact vs the single-engine path),
+        ``"async"`` runs stale-synchronous ticks whose halo snapshots
+        may be up to ``staleness`` rounds old.  Both feed the frozen
+        :class:`~repro.credo.runner.ExecutionPlan` each model registers
+        with.
     """
 
     device: str = "gtx1070"
@@ -72,6 +79,8 @@ class ServerConfig:
     shards: int | None = 1
     partitioner: str | None = None
     shard_threads: int | None = None
+    shard_policy: str = "sync"
+    staleness: int = 0
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:
@@ -92,6 +101,15 @@ class ServerConfig:
             from repro.partition import normalize_partitioner
 
             normalize_partitioner(self.partitioner)  # raises on unknown
+        from repro.core.shard_policies import normalize_shard_policy
+
+        policy = normalize_shard_policy(self.shard_policy)  # raises on unknown
+        if self.staleness < 0:
+            raise ValueError("staleness must be non-negative")
+        if policy == "sync" and self.staleness:
+            raise ValueError(
+                "the sync policy is staleness-free; use shard_policy='async'"
+            )
 
     def criterion(self) -> ConvergenceCriterion:
         """The convergence criterion every served query runs under."""

@@ -178,6 +178,8 @@ class QueryEngine:
             self.config.max_iterations,
             model.plan.backend,
             model.plan.schedule,
+            model.plan.policy,
+            model.plan.staleness,
         )
 
     def _loopy_config(self, model: RegisteredModel) -> LoopyConfig:
@@ -261,6 +263,8 @@ class QueryEngine:
             self._loopy_config(model),
             pool=self._shard_pool(plan.shards),
             instrument=self.instrument,
+            policy=plan.policy,
+            staleness=plan.staleness,
         )
         for i, frozen, use_cache in misses:
             self.metrics.record_batch(1)

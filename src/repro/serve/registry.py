@@ -80,6 +80,8 @@ class RegisteredModel:
                 partitioner=part.method,
                 cut_fraction=float(part.cut_fraction),
                 shard_balance=float(part.balance),
+                shard_policy=self.plan.policy,
+                staleness=int(self.plan.staleness),
             )
         return info
 
@@ -94,11 +96,15 @@ class ModelRegistry:
         backend: str | None = None,
         shards: int | None = 1,
         partitioner: str | None = None,
+        shard_policy: str | None = None,
+        staleness: int | None = None,
     ):
         self._credo = credo
         self._backend = backend  # optional pin forwarded to Credo.plan
         self._shards = shards  # 1 = never shard, None = selector decides
         self._partitioner = partitioner
+        self._shard_policy = shard_policy
+        self._staleness = staleness
         self._models: dict[str, RegisteredModel] = {}
         self._lock = threading.Lock()
         self._generation = 0
@@ -136,6 +142,8 @@ class ModelRegistry:
             # back to the single-engine path rather than failing to load
             shards=self._shards if graph.uniform else 1,
             partitioner=self._partitioner,
+            policy=self._shard_policy,
+            staleness=self._staleness,
         )
         sharded = None
         if plan.sharded:

@@ -54,6 +54,8 @@ class InferenceServer:
             backend=self.config.backend,
             shards=self.config.shards,
             partitioner=self.config.partitioner,
+            shard_policy=self.config.shard_policy,
+            staleness=self.config.staleness,
         )
         self.engine = QueryEngine(self.credo, self.cache, self.metrics, self.config)
         self.admission = AdmissionQueue(self.config.queue_capacity)

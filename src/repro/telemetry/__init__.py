@@ -35,6 +35,17 @@ from repro.telemetry.tracer import (
     use_tracer,
 )
 
+#: process-wide metrics registry — the sharded drivers publish per-shard
+#: staleness gauges and barrier-idle histograms here so ``credo profile``
+#: can read them without plumbing a registry through every layer
+_METRICS = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry`."""
+    return _METRICS
+
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -46,6 +57,7 @@ __all__ = [
     "SpanEvent",
     "Tracer",
     "chrome_trace",
+    "get_metrics",
     "get_tracer",
     "set_tracer",
     "summary_table",

@@ -1,0 +1,41 @@
+"""RPR304 fixture: shard-policy / staleness literals vs the live registry."""
+
+
+def bad_policy(run):
+    return run(shards=4, policy="asink")  # FINDING: unknown policy
+
+
+def bad_server_policy(config):
+    return config(shard_policy="lockstep-ish")  # FINDING: unknown policy
+
+
+def bad_sync_staleness(run):
+    return run(policy="sync", staleness=2)  # FINDING: sync is staleness-free
+
+
+def bad_alias_staleness(run):
+    return run(policy="bsp", staleness=1)  # FINDING: bsp aliases sync
+
+
+def bad_negative_staleness(run):
+    return run(policy="async", staleness=-2)  # FINDING: negative staleness
+
+
+def bad_policy_wins(run):
+    return run(policy="sink", staleness=3)  # FINDING: only the policy flagged
+
+
+def good_async(run):
+    return run(policy="async", staleness=2)
+
+
+def good_alias(run):
+    return run(shard_policy="ssp", staleness=1)
+
+
+def good_sync(run):
+    return run(policy="sync", staleness=0)
+
+
+def good_dynamic(run, name):
+    return run(policy=name)  # ok: not a literal, can't check statically

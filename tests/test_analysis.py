@@ -90,6 +90,12 @@ class TestHygieneRules:
         deprecated = [f for f in result.findings if "deprecated shim" in f.message]
         assert deprecated and "schedule=" in deprecated[0].message
 
+    def test_unknown_shard_policy(self):
+        result = assert_matches_markers("RPR304", "shard_policy.py")
+        messages = " ".join(f.message for f in result.findings)
+        assert "staleness-free" in messages  # sync+staleness names the fix
+        assert "does not resolve" in messages
+
 
 class TestFramework:
     def test_rule_catalog_complete(self):

@@ -372,27 +372,29 @@ class TestServeSharded:
 
 
 class TestDeprecationShims:
-    def test_workqueue_module_warns_and_reexports(self):
+    """The repro-2.0 shim modules are gone; the canonical homes serve."""
+
+    def test_workqueue_module_is_gone(self):
         import importlib
         import sys
 
         sys.modules.pop("repro.core.workqueue", None)
-        with pytest.warns(DeprecationWarning, match="workqueue"):
-            mod = importlib.import_module("repro.core.workqueue")
-        from repro.core.scheduler import WorkQueue
+        with pytest.raises(ImportError):
+            importlib.import_module("repro.core.workqueue")
+        from repro.core.scheduler import WorkQueue  # canonical home
 
-        assert mod.WorkQueue is WorkQueue
+        assert WorkQueue is not None
 
-    def test_residual_module_warns_and_reexports(self):
+    def test_residual_module_is_gone(self):
         import importlib
         import sys
 
         sys.modules.pop("repro.core.residual", None)
-        with pytest.warns(DeprecationWarning, match="residual"):
-            mod = importlib.import_module("repro.core.residual")
-        from repro.core.scheduler import ResidualBP
+        with pytest.raises(ImportError):
+            importlib.import_module("repro.core.residual")
+        from repro.core.scheduler import ResidualBP  # canonical home
 
-        assert mod.ResidualBP is ResidualBP
+        assert ResidualBP is not None
 
 
 def test_partition_repr_mentions_cut():

@@ -5,6 +5,7 @@ with a couple of checks on the legacy ``ResidualBP`` alias.
 """
 
 import numpy as np
+import pytest
 
 from repro.core import LoopyBP, LoopyResult, exact_marginals
 from repro.core.convergence import ConvergenceCriterion
@@ -89,7 +90,10 @@ class TestResidualBPAlias:
         np.testing.assert_array_equal(via_alias.beliefs, via_loopy.beliefs)
         assert via_alias.updates == via_loopy.updates
 
-    def test_residualresult_is_gone(self):
-        import repro.core.residual as mod
+    def test_residual_module_is_gone(self):
+        import importlib
+        import sys
 
-        assert not hasattr(mod, "ResidualResult")
+        sys.modules.pop("repro.core.residual", None)
+        with pytest.raises(ImportError):
+            importlib.import_module("repro.core.residual")

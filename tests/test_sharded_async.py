@@ -1,0 +1,448 @@
+"""Asynchronous sharded execution (DESIGN.md §12).
+
+The headline contract: ``ShardedLoopyBP(policy="async", staleness=0)``
+is **bit-exact** with the sync policy (SSP with a zero window *is* a
+lockstep round), and ``staleness>0`` converges to the same fixed point
+within 1e-6 — for {2, 4, 7} shards, both paradigms, with evidence.
+Work stealing is deterministic: repeated pooled runs are bit-identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.graph import BeliefGraph
+from repro.core.loopy import LoopyBP, LoopyConfig
+from repro.core.observation import observe
+from repro.core.potentials import attractive_potential
+from repro.core.shard_policies import (
+    SHARD_POLICIES,
+    AsyncShardPolicy,
+    SyncShardPolicy,
+    make_shard_policy,
+    normalize_shard_policy,
+)
+from repro.core.sharded import ShardedGraph, ShardedLoopyBP
+from repro.partition import (
+    OverPartition,
+    make_partition,
+    measure_partition,
+    overpartition,
+)
+
+STALE_TOL = 1e-6
+SHARD_COUNTS = [2, 4, 7]
+STALENESS = [0, 1, 3]
+
+
+def _graph(n=60, extra=150, b=3, seed=0, names=False):
+    rng = np.random.default_rng(seed)
+    priors = rng.dirichlet(np.ones(b), size=n)
+    spine = np.stack([np.arange(n - 1), np.arange(1, n)], axis=1)
+    rand = rng.integers(0, n, size=(extra, 2))
+    edges = np.unique(np.sort(np.concatenate([spine, rand]), axis=1), axis=0)
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    return BeliefGraph.from_undirected(
+        priors, edges, attractive_potential(b, 0.7),
+        node_names=[f"v{i}" for i in range(n)] if names else None,
+    )
+
+
+def _config(paradigm, threshold=1e-5, max_iterations=200):
+    return LoopyConfig(
+        paradigm=paradigm,
+        schedule="sync",
+        criterion=ConvergenceCriterion(
+            threshold=threshold, max_iterations=max_iterations
+        ),
+    )
+
+
+def _sharded(paradigm, n_shards, seed=0, **policy_kwargs):
+    g = _graph(seed=seed)
+    built = ShardedGraph.build(g, n_shards=n_shards, method="bfs")
+    return ShardedLoopyBP(_config(paradigm), **policy_kwargs).run(built)
+
+
+class TestPolicyRegistry:
+    def test_canonical_names_and_aliases(self):
+        assert SHARD_POLICIES == ("sync", "async")
+        for alias, canonical in [
+            ("sync", "sync"), ("lockstep", "sync"), ("bsp", "sync"),
+            ("async", "async"), ("ssp", "async"), ("stale", "async"),
+        ]:
+            assert normalize_shard_policy(alias) == canonical
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown shard policy"):
+            normalize_shard_policy("gossip")
+
+    def test_factory_instantiates_by_name(self):
+        assert isinstance(make_shard_policy("sync"), SyncShardPolicy)
+        policy = make_shard_policy("ssp", staleness=3, steal_factor=4)
+        assert isinstance(policy, AsyncShardPolicy)
+        assert policy.staleness == 3 and policy.steal_factor == 4
+
+    def test_sync_rejects_staleness(self):
+        with pytest.raises(ValueError, match="staleness-free"):
+            make_shard_policy("sync", staleness=2)
+        with pytest.raises(ValueError, match="staleness-free"):
+            ShardedLoopyBP(policy="lockstep", staleness=1)
+
+
+class TestAsyncParity:
+    """The issue's acceptance matrix: shards × staleness × paradigms."""
+
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("staleness", STALENESS)
+    def test_node_paradigm(self, n_shards, staleness):
+        sync = _sharded("node", n_shards)
+        run = _sharded(
+            "node", n_shards, policy="async", staleness=staleness
+        )
+        assert run.policy == "async" and run.staleness == staleness
+        if staleness == 0:
+            # a zero window is a lockstep round: bit-exact, same trajectory
+            np.testing.assert_array_equal(run.beliefs, sync.beliefs)
+            assert run.iterations == sync.iterations
+            np.testing.assert_array_equal(run.delta_history, sync.delta_history)
+        else:
+            assert run.converged
+            assert np.abs(run.beliefs - sync.beliefs).max() <= STALE_TOL
+
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("staleness", STALENESS)
+    def test_edge_paradigm(self, n_shards, staleness):
+        # steal_factor=1 keeps the edge paradigm's Gauss-Seidel chunk
+        # order shard-deterministic; stealing itself is covered by the
+        # determinism test below (and is exact under the node paradigm).
+        sync = _sharded("edge", n_shards)
+        run = _sharded(
+            "edge", n_shards, policy="async", staleness=staleness,
+            steal_factor=1,
+        )
+        if staleness == 0:
+            np.testing.assert_array_equal(run.beliefs, sync.beliefs)
+            assert run.iterations == sync.iterations
+        else:
+            assert run.converged
+            assert np.abs(run.beliefs - sync.beliefs).max() <= STALE_TOL
+
+    @pytest.mark.parametrize("staleness", STALENESS)
+    def test_with_observed_evidence(self, staleness):
+        g = _graph(names=True)
+        reference = g.copy()
+        observe(reference, "v3", 1)
+        observe(reference, "v41", 0)
+        expected = LoopyBP(_config("node")).run(reference).beliefs
+
+        sharded = ShardedGraph.build(g, n_shards=4, method="bfs")
+        view = sharded.instance()
+        view.observe("v3", 1)
+        view.observe("v41", 0)
+        result = ShardedLoopyBP(
+            _config("node"), policy="async", staleness=staleness
+        ).run(view)
+        assert np.abs(result.beliefs - expected).max() <= STALE_TOL
+        np.testing.assert_allclose(result.beliefs[3], [0.0, 1.0, 0.0], atol=1e-6)
+
+    def test_staleness_bound_is_respected(self):
+        run = _sharded("node", 4, policy="async", staleness=2)
+        assert len(run.shard_staleness) == 4
+        assert max(run.shard_staleness) <= 2
+        assert run.ticks  # replay records for the cost models
+        for tick in run.ticks:
+            assert tick.max_staleness <= 2
+            assert tuple(sorted(tick.swept)) == tick.swept
+
+
+class TestWorkStealing:
+    def test_pooled_runs_are_bit_identical(self):
+        """Fixed seed + LPT lane assignment ⇒ stealing is deterministic."""
+        runs = [
+            _sharded(
+                "node", 4, seed=9, policy="async", staleness=2,
+                steal_factor=8, max_workers=4,
+            )
+            for _ in range(2)
+        ]
+        np.testing.assert_array_equal(runs[0].beliefs, runs[1].beliefs)
+        assert runs[0].iterations == runs[1].iterations
+        assert runs[0].stolen_items == runs[1].stolen_items
+        assert runs[0].shard_staleness == runs[1].shard_staleness
+
+    def test_pool_matches_serial(self):
+        serial = _sharded("node", 4, policy="async", staleness=2)
+        pooled = _sharded(
+            "node", 4, policy="async", staleness=2, max_workers=4
+        )
+        np.testing.assert_array_equal(serial.beliefs, pooled.beliefs)
+        assert serial.iterations == pooled.iterations
+
+    def test_stealing_splits_work(self):
+        # stealing needs parallel lanes: serial runs (and steal_factor=1)
+        # keep every shard whole
+        split = _sharded("node", 2, policy="async", staleness=1,
+                         steal_factor=8, max_workers=4)
+        whole = _sharded("node", 2, policy="async", staleness=1,
+                         steal_factor=1, max_workers=4)
+        assert split.stolen_items > 0
+        assert whole.stolen_items == 0
+        np.testing.assert_array_equal(split.beliefs, whole.beliefs)
+
+
+class TestOverPartition:
+    def test_regions_refine_the_base_partition(self):
+        g = _graph()
+        base = make_partition(g, 4, method="bfs")
+        over = overpartition(g, base, 8)
+        assert isinstance(over, OverPartition)
+        assert over.n_regions == 32
+        # every region id falls inside its owner shard's band
+        np.testing.assert_array_equal(
+            over.region_assignment // 8, base.assignment
+        )
+        for shard in range(4):
+            assert over.regions_of(shard) == range(shard * 8, (shard + 1) * 8)
+        assert over.region_nodes.sum() == g.n_nodes
+        assert over.region_edges.sum() == g.n_edges
+
+    def test_region_balance_and_stats(self):
+        g = _graph()
+        over = overpartition(g, make_partition(g, 4, method="bfs"), 4)
+        assert over.region_balance >= 1.0
+        stats = over.stats()
+        assert stats["factor"] == 4.0 and stats["n_regions"] == 16.0
+        assert stats["region_balance"] == over.region_balance
+        assert "cut_fraction" in stats  # base stats ride along
+        assert "factor=4" not in repr(over.base)  # base untouched
+
+    def test_factor_one_is_the_identity(self):
+        g = _graph()
+        base = make_partition(g, 3, method="range")
+        over = overpartition(g, base, 1)
+        np.testing.assert_array_equal(over.region_assignment, base.assignment)
+        with pytest.raises(ValueError, match="factor"):
+            overpartition(g, base, 0)
+
+    def test_measure_partition_wraps_custom_assignments(self):
+        g = _graph()
+        skew = np.zeros(g.n_nodes, dtype=np.int64)
+        skew[: g.n_nodes // 8] = 1
+        part = measure_partition(g, skew)
+        assert part.n_shards == 2 and part.method == "custom"
+        assert part.balance > 1.0  # deliberately lopsided
+        with pytest.raises(ValueError, match="shape"):
+            measure_partition(g, skew[:-1])
+        with pytest.raises(ValueError, match="negative"):
+            measure_partition(g, skew - 1)
+
+
+class TestAsyncBackend:
+    def test_async_drops_the_barrier_term(self):
+        from repro.backends import get_backend
+
+        g = _graph()
+        sync = get_backend("sharded", n_shards=4, partitioner="bfs").run(g.copy())
+        fast = get_backend(
+            "sharded", n_shards=4, partitioner="bfs",
+            policy="async", staleness=2,
+        ).run(g.copy())
+        assert sync.detail["policy"] == "sync"
+        assert fast.detail["policy"] == "async"
+        assert fast.detail["staleness"] == 2
+        assert fast.detail["barrier_idle_s"] < sync.detail["barrier_idle_s"]
+        assert np.abs(fast.beliefs - sync.beliefs).max() <= 1e-5
+
+    def test_multigpu_async_replay(self):
+        from repro.backends import get_backend
+
+        g = _graph()
+        sync = get_backend("cuda-multi", n_devices=2, partitioner="bfs").run(
+            g.copy()
+        )
+        run = get_backend(
+            "cuda-multi", n_devices=2, partitioner="bfs",
+            policy="async", staleness=1,
+        ).run(g.copy())
+        assert run.detail["policy"] == "async"
+        assert run.modeled_time > 0
+        assert np.abs(run.beliefs - sync.beliefs).max() <= 1e-5
+
+
+class TestAsyncInstrumentation:
+    """PR-4's race detector must not false-positive on async overlap."""
+
+    def _build(self, seed=5):
+        g = _graph(seed=seed)
+        return ShardedGraph.build(g, n_shards=4, method="bfs")
+
+    def test_instrumented_async_run_is_race_free(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.analysis import RaceDetector
+
+        det = RaceDetector()
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            result = ShardedLoopyBP(
+                _config("node"), pool=pool, instrument=det,
+                policy="async", staleness=2,
+            ).run(self._build())
+        assert result.converged
+        assert det.n_accesses > 0
+        det.assert_race_free()
+
+    def test_instrumentation_preserves_async_numerics(self):
+        from repro.analysis import RaceDetector
+
+        det = RaceDetector()
+        instrumented = ShardedLoopyBP(
+            _config("node"), instrument=det, policy="async", staleness=1
+        ).run(self._build())
+        plain = ShardedLoopyBP(
+            _config("node"), policy="async", staleness=1
+        ).run(self._build())
+        np.testing.assert_array_equal(instrumented.beliefs, plain.beliefs)
+        assert instrumented.iterations == plain.iterations
+
+    def test_shard_phase_bumps_only_its_domain(self):
+        from repro.analysis import RaceDetector
+
+        det = RaceDetector()
+        a = det.track(np.zeros((4, 2), dtype=np.float32), "shard0.messages")
+        b = det.track(np.zeros((4, 2), dtype=np.float32), "shard1.messages")
+        a[1] = 1.0
+        b[1] = 1.0
+        det.on_shard_phase(0, "tick")
+        a[1] = 2.0  # new shard0 epoch
+        b[1] = 2.0  # still shard1's first epoch — and that is fine
+        assert det.check() == []
+        epochs = {acc.array: set() for acc in det._accesses}
+        for acc in det._accesses:
+            epochs[acc.array].add(acc.epoch)
+        # shard0 saw the phase edge; shard1's clock never moved
+        assert len(epochs["shard0.messages"]) == 2
+        assert len(epochs["shard1.messages"]) == 1
+
+
+class TestCredoAsyncPlans:
+    def test_plan_freezes_policy_and_staleness(self):
+        from repro.credo.runner import Credo
+
+        g = _graph()
+        plan = Credo().plan(
+            g, backend="sharded:sync", shards=4, partitioner="bfs",
+            policy="async", staleness=2,
+        )
+        assert plan.policy == "async" and plan.staleness == 2
+        assert plan.qualified == "sharded:sync@4xbfs+async~2"
+
+    def test_policy_defaults_resolve_sensibly(self):
+        from repro.credo.runner import Credo
+
+        g = _graph()
+        credo = Credo()
+        # staleness alone implies async; async alone gets a window of 1
+        assert credo.plan(g, backend="sharded:sync", shards=2,
+                          staleness=2).policy == "async"
+        assert credo.plan(g, backend="sharded:sync", shards=2,
+                          policy="async").staleness == 1
+        # unsharded plans are always sync/0
+        plan = credo.plan(g, backend="c-node:sync")
+        assert plan.policy == "sync" and plan.staleness == 0
+        assert "+sync" not in plan.qualified
+
+    def test_sync_plan_rejects_staleness(self):
+        from repro.credo.runner import ExecutionPlan
+
+        with pytest.raises(ValueError, match="staleness-free"):
+            ExecutionPlan("sharded", "sync", shards=2,
+                          policy="sync", staleness=1)
+
+    def test_selector_picks_async_for_heavy_tails(self):
+        from repro.credo.selector import CredoSelector
+
+        sel = CredoSelector()
+        rng = np.random.default_rng(0)
+        n = 80
+        # star-heavy graph: one hub touches everything
+        hub_edges = np.stack([np.zeros(n - 1, dtype=np.int64),
+                              np.arange(1, n)], axis=1)
+        hub = BeliefGraph.from_undirected(
+            rng.dirichlet(np.ones(2), size=n), hub_edges,
+            attractive_potential(2, 0.7),
+        )
+        assert sel.select_shard_policy(hub, 4) == ("async", 1)
+        # a balanced spine stays lockstep, and one shard is always sync
+        chain = _graph(extra=0)
+        assert sel.select_shard_policy(chain, 4) == ("sync", 0)
+        assert sel.select_shard_policy(hub, 1) == ("sync", 0)
+
+    def test_credo_run_async_matches_sync(self):
+        from repro.credo.runner import Credo
+
+        g = _graph()
+        credo = Credo()
+        base = credo.run(g.copy(), backend="sharded:sync", shards=3,
+                         partitioner="bfs")
+        run = credo.run(g.copy(), backend="sharded:sync", shards=3,
+                        partitioner="bfs", policy="async", staleness=1)
+        assert run.detail["policy"] == "async"
+        assert np.abs(run.beliefs - base.beliefs).max() <= 1e-5
+
+
+class TestServeAsync:
+    def test_config_validates_policy_knobs(self):
+        from repro.serve import ServerConfig
+
+        with pytest.raises(ValueError, match="unknown shard policy"):
+            ServerConfig(shard_policy="gossip")
+        with pytest.raises(ValueError, match="staleness"):
+            ServerConfig(shard_policy="async", staleness=-1)
+        with pytest.raises(ValueError, match="staleness-free"):
+            ServerConfig(shard_policy="sync", staleness=2)
+
+    def test_async_server_matches_sync_posteriors(self):
+        from repro.serve import InferenceServer, ServerConfig
+
+        g = _graph(names=True)
+        async_cfg = ServerConfig(
+            shards=2, partitioner="bfs", backend="c-node", schedule="sync",
+            shard_policy="async", staleness=1,
+        )
+        sync_cfg = ServerConfig(
+            shards=2, partitioner="bfs", backend="c-node", schedule="sync",
+        )
+        with InferenceServer(async_cfg) as s1, InferenceServer(sync_cfg) as s2:
+            s1.register_model("m", g.copy())
+            s2.register_model("m", g.copy())
+            desc = s1.registry.describe()[0]
+            assert desc["shard_policy"] == "async" and desc["staleness"] == 1
+            r1 = s1.query("m", {"v3": 1})
+            r2 = s2.query("m", {"v3": 1})
+            assert r1.ok and r2.ok
+            for name in r1.posteriors:
+                np.testing.assert_allclose(
+                    r1.posteriors[name], r2.posteriors[name], atol=1e-5
+                )
+            # policy is part of the cache key: repeat hits, not recomputes
+            assert s1.query("m", {"v3": 1}).cached
+
+
+class TestTelemetryColumns:
+    def test_summary_table_reports_idle_and_staleness(self):
+        from repro.telemetry.export import summary_table
+        from repro.telemetry.tracer import SpanEvent
+
+        events = [
+            SpanEvent("backend.run", "backend", 0.0, 0.2, "host", "main",
+                      args={"barrier_idle_s": 0.05, "staleness": 2}),
+            SpanEvent("bp.sweep", "core", 0.0, 0.1, "host", "main"),
+        ]
+        table = summary_table(events)
+        header, _, *rows = table.splitlines()
+        assert "idle_ms" in header and "stale" in header
+        run_row = next(r for r in rows if "backend.run" in r)
+        sweep_row = next(r for r in rows if "bp.sweep" in r)
+        assert "50.000" in run_row and " 2" in run_row
+        assert sweep_row.rstrip().endswith("-")
