@@ -19,6 +19,7 @@ from repro.backends.cuda_backends import CudaEdgeBackend, CudaNodeBackend
 from repro.core.graph import BeliefGraph
 from repro.core.potentials import PerEdgePotentialStore
 from repro.graphs.suite import build_graph
+from repro.kernels.layout import LAYOUTS, with_layout
 
 SUBSET = ["10x40", "100x400", "1kx4k", "10kx40k", "100kx400k"]
 
@@ -54,6 +55,13 @@ def test_shared_matrix_footprint():
     shared, _ = build_graph(SUBSET[-1], "binary", profile="quick")
     assert shared.memory_footprint()["potentials"] < 100
     assert _with_per_edge_matrices(shared).memory_footprint()["potentials"] > 10**6
+    # the §2.2 reduction is a potentials story: belief layout (registry in
+    # repro.kernels.layout) must not perturb it, while the beliefs entry
+    # tracks each layout's true storage (padding included for blocked)
+    for layout in LAYOUTS:
+        fp = with_layout(shared, layout).memory_footprint()
+        assert fp["potentials"] == shared.memory_footprint()["potentials"]
+        assert fp["beliefs"] == with_layout(shared, layout).beliefs.nbytes()
 
 
 def _kernel_time(result) -> float:

@@ -115,11 +115,15 @@ class Backend:
         schedule: str | None = None,
         work_queue: bool | None = None,
         update_rule: str = "sum_product",
+        executor: str | None = None,
     ) -> RunResult:
         """Execute BP on ``graph`` (beliefs are updated in place).
 
         ``schedule`` is any name :func:`repro.core.scheduler.make_schedule`
-        accepts; ``work_queue`` is the deprecated boolean shim.
+        accepts; ``executor`` is any name
+        :func:`repro.kernels.executor.normalize_executor` accepts
+        (``None`` → interpreted); ``work_queue`` is the deprecated
+        boolean shim.
         """
         raise NotImplementedError
 
@@ -135,6 +139,7 @@ class Backend:
         schedule: str | None,
         update_rule: str,
         work_queue: bool | None = None,
+        executor: str | None = None,
     ) -> LoopyConfig:
         crit = criterion or ConvergenceCriterion()
         if work_queue is not None:
@@ -144,12 +149,14 @@ class Backend:
                 update_rule=update_rule,
                 criterion=crit,
                 work_queue=work_queue,
+                executor=executor or "interpreted",
             )
         return LoopyConfig(
             paradigm=paradigm,
             update_rule=update_rule,
             criterion=crit,
             schedule=schedule or self.default_schedule,
+            executor=executor or "interpreted",
         )
 
     @staticmethod

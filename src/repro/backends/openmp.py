@@ -140,12 +140,13 @@ class OpenMPBackend(Backend):
         schedule: str | None = None,
         work_queue: bool | None = None,
         update_rule: str = "sum_product",
+        executor: str | None = None,
     ) -> RunResult:
         """``schedule`` here is the BP scheduling policy; the *OMP loop*
         schedule (static/dynamic) is the constructor's ``schedule``."""
         assert self.paradigm is not None
         config = self._loopy_config(
-            self.paradigm, criterion, schedule, update_rule, work_queue
+            self.paradigm, criterion, schedule, update_rule, work_queue, executor
         )
         loopy, wall = self._timed(LoopyBP(config).run, graph)
         modeled = sum(
@@ -159,6 +160,7 @@ class OpenMPBackend(Backend):
             modeled,
             threads=self.threads,
             schedule=config.schedule,
+            executor=config.executor,
             omp_schedule=self.schedule,
             hyperthreading=self.hyperthreading,
         )

@@ -19,10 +19,21 @@ from typing import Iterator
 
 import numpy as np
 
-__all__ = ["BeliefStore", "SoABeliefStore", "AoSBeliefStore", "CACHE_LINE_BYTES"]
+__all__ = [
+    "BeliefStore",
+    "SoABeliefStore",
+    "AoSBeliefStore",
+    "BlockedBeliefStore",
+    "CACHE_LINE_BYTES",
+    "BLOCK_NODES",
+]
 
 #: Cache-line size assumed by the access-pattern model (bytes).
 CACHE_LINE_BYTES = 64
+
+#: Nodes per tile of the blocked (AoSoA) layout — one float32 lane set
+#: per cache line, so a tile's state-plane is exactly one line wide.
+BLOCK_NODES = CACHE_LINE_BYTES // 4
 
 _FLOAT = np.float32
 
@@ -102,9 +113,15 @@ class BeliefStore:
             yield self.get(i)
 
     # -- cost-model hooks -------------------------------------------------
+    def nbytes(self) -> int:
+        """Exact bytes of backing storage, including layout padding and
+        index structures — the truthful number capacity accounting
+        (``BeliefGraph.memory_footprint``) reports per layout."""
+        raise NotImplementedError
+
     def bytes_per_node(self) -> float:
         """Average bytes of storage footprint per node."""
-        raise NotImplementedError
+        return float(self.nbytes()) / max(self.n, 1)
 
     def cache_lines_per_access(self) -> float:
         """Average distinct cache lines touched when reading one node's
@@ -116,6 +133,17 @@ class BeliefStore:
         separated lines, while AoS packs them into one struct.
         """
         raise NotImplementedError
+
+    def cache_lines_per_sweep_node(self) -> float:
+        """Average cache lines per node touched by a *streaming* full
+        sweep (ascending node order, every node visited).
+
+        Random gathers pay :meth:`cache_lines_per_access`; a full sweep
+        amortizes lines across neighbouring nodes, which is where the
+        blocked layout earns its keep.  The default assumes no
+        amortization beyond the layout's own packing.
+        """
+        return self.cache_lines_per_access()
 
 
 class SoABeliefStore(BeliefStore):
@@ -178,9 +206,9 @@ class SoABeliefStore(BeliefStore):
         flat = np.repeat(starts, sizes) + rank
         self.probs[flat] = other.probs[flat]
 
-    def bytes_per_node(self) -> float:
+    def nbytes(self) -> int:
         # probabilities + an 8-byte offset + an 8-byte dim per node
-        return float(self.probs.nbytes + self.offsets.nbytes + self.dims.nbytes) / max(self.n, 1)
+        return int(self.probs.nbytes + self.offsets.nbytes + self.dims.nbytes)
 
     def cache_lines_per_access(self) -> float:
         # One access reads: the offset entry, the dim entry, and the
@@ -188,6 +216,15 @@ class SoABeliefStore(BeliefStore):
         # (the index arrays partially cache, so they count fractionally).
         prob_lines = max(1.0, (self.width * 4) / CACHE_LINE_BYTES)
         return 1.3 + prob_lines
+
+    def cache_lines_per_sweep_node(self) -> float:
+        # Streaming the flat probs array is perfectly dense; the index
+        # arrays only join the stream on ragged graphs.  The uniform
+        # dense() view costs nothing extra (no copy).
+        lines = (self.width * 4) / CACHE_LINE_BYTES
+        if not self.uniform:
+            lines += 16 / CACHE_LINE_BYTES
+        return lines
 
 
 class AoSBeliefStore(BeliefStore):
@@ -234,12 +271,94 @@ class AoSBeliefStore(BeliefStore):
         if len(rows):
             self.records["probs"][rows] = other.records["probs"][rows]
 
-    def bytes_per_node(self) -> float:
-        return float(self.records.nbytes) / max(self.n, 1)
+    def nbytes(self) -> int:
+        return int(self.records.nbytes)
 
     def cache_lines_per_access(self) -> float:
         # probs and dim sit in the same record: one contiguous line stream.
         return max(1.0, self._dtype.itemsize / CACHE_LINE_BYTES)
+
+    def cache_lines_per_sweep_node(self) -> float:
+        # Records stream contiguously, but the interleaved dim field rides
+        # along in every line whether the sweep wants it or not.
+        return self._dtype.itemsize / CACHE_LINE_BYTES
+
+
+class BlockedBeliefStore(BeliefStore):
+    """Degree-blocked AoSoA layout: nodes are grouped into tiles of
+    :data:`BLOCK_NODES` and each tile stores its probabilities
+    plane-major — ``planes[t, s, j]`` is state ``s`` of node
+    ``t * BLOCK_NODES + j``.
+
+    Every state plane of a tile is exactly one cache line of float32
+    lanes, so a streaming sweep reads ``width`` dense lines per tile and
+    a SIMD kernel sees each state contiguous across 16 nodes.  The price
+    is random access: one scattered line per *state* instead of per
+    node.  The autotuner weighs exactly this trade.
+    """
+
+    layout = "blocked"
+
+    def __init__(self, dims: np.ndarray):
+        super().__init__(dims)
+        width = max(self.width, 1)
+        self.n_blocks = (self.n + BLOCK_NODES - 1) // BLOCK_NODES
+        self.planes = np.zeros((self.n_blocks, width, BLOCK_NODES), dtype=_FLOAT)
+
+    def get(self, i: int) -> np.ndarray:
+        t, j = divmod(i, BLOCK_NODES)
+        return self.planes[t, : self.dims[i], j]
+
+    def set(self, i: int, value: np.ndarray) -> None:
+        d = int(self.dims[i])
+        if len(value) != d:
+            raise ValueError(f"node {i} holds {d} states, got {len(value)}")
+        t, j = divmod(i, BLOCK_NODES)
+        self.planes[t, :d, j] = value
+
+    def dense(self) -> np.ndarray:
+        # de-tile: (n_blocks, width, BLOCK) -> (n_blocks * BLOCK, width)
+        width = max(self.width, 1)
+        flat = self.planes.transpose(0, 2, 1).reshape(self.n_blocks * BLOCK_NODES, width)
+        out = np.ascontiguousarray(flat[: self.n])
+        if not self.uniform:
+            for i in range(self.n):
+                out[i, self.dims[i] :] = 0.0
+        return out
+
+    def load_dense(self, matrix: np.ndarray) -> None:
+        width = max(self.width, 1)
+        padded = np.zeros((self.n_blocks * BLOCK_NODES, width), dtype=_FLOAT)
+        padded[: self.n] = matrix
+        self.planes[:] = padded.reshape(self.n_blocks, BLOCK_NODES, width).transpose(0, 2, 1)
+
+    def copy(self) -> "BlockedBeliefStore":
+        clone = BlockedBeliefStore(self.dims)
+        clone.planes[:] = self.planes
+        return clone
+
+    def copy_rows_from(self, other: BeliefStore, rows: np.ndarray) -> None:
+        if not isinstance(other, BlockedBeliefStore) or len(other) != self.n:
+            super().copy_rows_from(other, rows)
+            return
+        rows = np.asarray(rows, dtype=np.int64)
+        if len(rows):
+            t, j = np.divmod(rows, BLOCK_NODES)
+            self.planes[t, :, j] = other.planes[t, :, j]
+
+    def nbytes(self) -> int:
+        # tile padding (up to BLOCK_NODES - 1 phantom nodes) is real
+        # allocated storage and is reported as such
+        return int(self.planes.nbytes + self.dims.nbytes)
+
+    def cache_lines_per_access(self) -> float:
+        # One node's vector is spread across `width` state planes, each a
+        # separate line; the dim entry adds a fractional index line.
+        return 0.25 + float(max(self.width, 1))
+
+    def cache_lines_per_sweep_node(self) -> float:
+        # A full tile streams `width` lines for BLOCK_NODES nodes.
+        return (max(self.width, 1) * 4) / CACHE_LINE_BYTES
 
 
 def make_store(dims: np.ndarray, layout: str = "aos") -> BeliefStore:
@@ -248,4 +367,8 @@ def make_store(dims: np.ndarray, layout: str = "aos") -> BeliefStore:
         return AoSBeliefStore(dims)
     if layout == "soa":
         return SoABeliefStore(dims)
-    raise ValueError(f"unknown belief layout {layout!r} (expected 'aos' or 'soa')")
+    if layout == "blocked":
+        return BlockedBeliefStore(dims)
+    raise ValueError(
+        f"unknown belief layout {layout!r} (expected 'aos', 'soa' or 'blocked')"
+    )

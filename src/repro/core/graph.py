@@ -62,8 +62,8 @@ class BeliefGraph:
     node_names:
         Optional sequence of names; defaults to stringified ids.
     layout:
-        Belief storage layout, ``"aos"`` (default, the paper's choice) or
-        ``"soa"``.
+        Belief storage layout: ``"aos"`` (default, the paper's choice),
+        ``"soa"``, or the tile-packed ``"blocked"``.
     """
 
     def __init__(
@@ -333,8 +333,8 @@ class BeliefGraph:
                 sys.getsizeof(k) + v.nbytes for k, v in self._feature_cache.items()
             )
         return {
-            "beliefs": int(self.beliefs.bytes_per_node() * self.n_nodes),
-            "priors": int(self.priors.bytes_per_node() * self.n_nodes),
+            "beliefs": self.beliefs.nbytes(),
+            "priors": self.priors.nbytes(),
             "potentials": self.potentials.nbytes(),
             "adjacency": int(
                 self.src.nbytes + self.dst.nbytes + self.reverse_edge.nbytes

@@ -33,12 +33,11 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.core.convergence import ConvergenceCriterion
-from repro.core.edge_kernel import edge_sweep
 from repro.core.graph import BeliefGraph
-from repro.core.node_kernel import node_sweep
 from repro.core.scheduler import SCHEDULES, make_schedule, normalize_schedule
 from repro.core.state import LoopyState
 from repro.core.sweepstats import RunStats, SweepStats
+from repro.kernels.executor import make_executor, normalize_executor
 from repro.telemetry import get_tracer
 
 __all__ = ["LoopyConfig", "LoopyResult", "LoopyBP"]
@@ -57,6 +56,13 @@ class LoopyConfig:
     message (an extension, 0 disables); ``semiring`` switches to
     max-product for MAP queries (extension).
 
+    ``executor`` selects how each sweep is carried out (DESIGN.md §13):
+    ``"interpreted"`` (default) dispatches the historical kernel
+    functions per call; ``"compiled"`` lowers the state once into fused
+    gather–scatter programs (:mod:`repro.kernels`) and runs full sweeps
+    on a natural-order fast path — bit-exact with the interpreted
+    executor, validated in the parity grid.
+
     ``batch_fraction``, ``relaxation`` and ``schedule_seed`` parameterize
     the priority schedules; the others ignore them.
 
@@ -69,6 +75,7 @@ class LoopyConfig:
     paradigm: str = "node"
     update_rule: str = "sum_product"
     semiring: str = "sum"
+    executor: str = "interpreted"
     criterion: ConvergenceCriterion = field(default_factory=ConvergenceCriterion)
     schedule: str = "work_queue"
     work_queue: bool | None = None
@@ -106,6 +113,7 @@ class LoopyConfig:
             )
             object.__setattr__(self, "work_queue", None)
         object.__setattr__(self, "schedule", normalize_schedule(self.schedule))
+        object.__setattr__(self, "executor", normalize_executor(self.executor))
 
 
 @dataclass
@@ -172,6 +180,7 @@ class _NodePlan:
         self.state = state
         self.cfg = cfg
         self.n_elements = state.n
+        self.executor = make_executor(cfg.executor, state, paradigm="node")
         # Per-element convergence threshold (§3.5): an element whose own
         # delta is below the global threshold drops out of the schedule.
         # This is the paper's semantics — "most nodes converge quickly
@@ -183,7 +192,7 @@ class _NodePlan:
 
     def sweep(self, active: np.ndarray, want_downstream: bool) -> _Step:
         state, cfg = self.state, self.cfg
-        deltas, stats = node_sweep(
+        deltas, stats = self.executor.node_sweep(
             state,
             active,
             update_rule=cfg.update_rule,
@@ -209,6 +218,9 @@ class _EdgePlan:
         self.state = state
         self.cfg = cfg
         self.n_elements = state.m
+        self.executor = make_executor(
+            cfg.executor, state, paradigm="edge", chunks=cfg.edge_chunks
+        )
         # An edge is converged when its message moves less than the node
         # threshold split across the destination's in-edges: the combined
         # per-node perturbation of fully-pruned edges then stays within
@@ -231,7 +243,7 @@ class _EdgePlan:
         else:
             candidates = np.empty(0, np.int64)
         before = state.beliefs[candidates].copy()
-        edge_deltas, _touched, stats = edge_sweep(
+        edge_deltas, _touched, stats = self.executor.edge_sweep(
             state,
             active,
             update_rule=cfg.update_rule,
@@ -325,6 +337,8 @@ class LoopyBP:
                             iteration=iteration,
                             active=int(len(active)),
                             global_delta=step.global_delta,
+                            executor=cfg.executor,
+                            layout=state.graph.layout,
                             **step.stats.as_dict(),
                         )
                 # A drained schedule means every element individually passed
@@ -341,6 +355,9 @@ class LoopyBP:
                 run_span.set(
                     paradigm=cfg.paradigm,
                     schedule=cfg.schedule,
+                    executor=cfg.executor,
+                    layout=state.graph.layout,
+                    kernel_build_s=plan.executor.build_seconds,
                     n_elements=plan.n_elements,
                     iterations=iteration,
                     converged=converged,

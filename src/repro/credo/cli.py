@@ -60,6 +60,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="async halo staleness bound in rounds (0 degenerates to "
              "lockstep; implies --shard-policy async when positive)",
     )
+    run.add_argument(
+        "--executor", default=None,
+        choices=("interpreted", "compiled", "auto"),
+        help="sweep executor: interpreted kernels, fused compiled "
+             "programs (bit-exact), or the selector's cost call "
+             "(default: interpreted)",
+    )
+    run.add_argument(
+        "--layout", default=None,
+        choices=("aos", "soa", "blocked", "auto"),
+        help="belief-store layout; 'auto' runs the plan-time layout "
+             "autotuner (default: keep the graph's layout)",
+    )
     run.add_argument("--top", type=int, default=10, help="print the first N posteriors")
     run.add_argument(
         "--train", action="store_true",
@@ -88,6 +101,12 @@ def _build_parser() -> argparse.ArgumentParser:
                       choices=("hash", "range", "bfs", "greedy"))
     prof.add_argument("--shard-policy", default=None, choices=("sync", "async"))
     prof.add_argument("--staleness", type=int, default=None, metavar="K")
+    prof.add_argument("--executor", default=None,
+                      choices=("interpreted", "compiled", "auto"),
+                      help="sweep executor (default: interpreted)")
+    prof.add_argument("--layout", default=None,
+                      choices=("aos", "soa", "blocked", "auto"),
+                      help="belief-store layout; 'auto' autotunes")
     prof.add_argument("--threshold", type=float, default=1e-3)
     prof.add_argument("--max-iterations", type=int, default=200)
     prof.add_argument("--trace", default="trace.json", metavar="OUT.json",
@@ -223,10 +242,14 @@ def _cmd_profile(args) -> int:
 
     baseline = None
     if args.verify_parity:
+        # the baseline deliberately stays on the interpreted executor so
+        # --executor compiled is checked against the reference semantics,
+        # not against itself
         baseline = credo.run(
             graph.copy(), backend=args.backend,
             shards=args.shards, partitioner=args.partitioner,
             policy=args.shard_policy, staleness=args.staleness,
+            layout=args.layout,
         )
 
     tracer = Tracer()
@@ -235,10 +258,13 @@ def _cmd_profile(args) -> int:
             graph.copy(), backend=args.backend,
             shards=args.shards, partitioner=args.partitioner,
             policy=args.shard_policy, staleness=args.staleness,
+            executor=args.executor, layout=args.layout,
         )
 
     print(f"backend       {result.backend}")
     print(f"schedule      {result.detail.get('schedule', '-')}")
+    print(f"executor      {result.detail.get('executor', 'interpreted')}")
+    print(f"layout        {result.detail.get('layout', graph.layout)}")
     if "policy" in result.detail:
         print(f"shard policy  {result.detail['policy']} "
               f"(staleness {result.detail.get('staleness', 0)})")
@@ -247,6 +273,11 @@ def _cmd_profile(args) -> int:
     print(f"converged     {result.converged}")
     print(f"wall time     {result.wall_time:.4f}s")
     print(f"modeled time  {result.modeled_time:.4f}s")
+    build = get_metrics().histogram("kernel.build_s").snapshot()
+    if build.get("count"):
+        build_s = build["mean_s"] * build["count"]
+        print(f"kernel build  {build_s:.6f}s across {int(build['count'])} "
+              f"lowering(s); sweeps {max(result.wall_time - build_s, 0.0):.4f}s")
     idle = get_metrics().histogram("sharded.barrier_idle_s").snapshot()
     if idle.get("count"):
         print(f"barrier idle  count {int(idle['count'])}, "
@@ -462,6 +493,7 @@ def main(argv: list[str] | None = None) -> int:
                 args.path, args.edge_path, backend=args.backend,
                 shards=args.shards, partitioner=args.partitioner,
                 policy=args.shard_policy, staleness=args.staleness,
+                executor=args.executor, layout=args.layout,
             )
         _write_trace(tracer, args.trace)
     else:
@@ -469,9 +501,12 @@ def main(argv: list[str] | None = None) -> int:
             args.path, args.edge_path, backend=args.backend,
             shards=args.shards, partitioner=args.partitioner,
             policy=args.shard_policy, staleness=args.staleness,
+            executor=args.executor, layout=args.layout,
         )
     print(f"backend       {result.backend}")
     print(f"schedule      {result.detail.get('schedule', '-')}")
+    if args.executor or args.layout or "executor" in result.detail:
+        print(f"executor      {result.detail.get('executor', 'interpreted')}")
     if "n_shards" in result.detail or "n_devices" in result.detail:
         shards = result.detail.get("n_shards", result.detail.get("n_devices"))
         print(f"shards        {shards} ({result.detail.get('partitioner', '-')}, "

@@ -24,12 +24,22 @@ from repro.credo.rules import LARGE_GRAPH_NODES, SMALL_GRAPH_NODES
 from repro.credo.training import TrainingRow
 from repro.ml.forest import RandomForestClassifier
 
-__all__ = ["CredoSelector", "SHARD_AUTO_MIN_EDGES", "cuda_pivot_nodes"]
+__all__ = [
+    "CredoSelector",
+    "COMPILED_AUTO_MIN_EDGES",
+    "SHARD_AUTO_MIN_EDGES",
+    "cuda_pivot_nodes",
+]
 
 #: below this many directed edges sharding is pure overhead: the per-round
 #: exchange + barrier dwarfs what shard parallelism saves, so the
 #: automatic path keeps small graphs on the single-engine fast path
 SHARD_AUTO_MIN_EDGES = 500_000
+
+#: below this many directed edges the compiled executor's one-off lowering
+#: (reverse-pair masks, chunk programs, scratch buffers) costs more than
+#: the per-sweep dispatch it eliminates, so small graphs stay interpreted
+COMPILED_AUTO_MIN_EDGES = 2_000
 
 
 def cuda_pivot_nodes(n_beliefs: int) -> float:
@@ -157,6 +167,34 @@ class CredoSelector:
         if not graph.uniform or graph.n_edges < SHARD_AUTO_MIN_EDGES:
             return 1
         return int(min(max_shards, max(2, graph.n_edges // SHARD_AUTO_MIN_EDGES)))
+
+    # ------------------------------------------------------------------
+    def select_executor(self, graph: BeliefGraph, backend: str) -> str:
+        """Sweep executor for ``graph`` on ``backend`` (DESIGN.md §13).
+
+        The compiled executor is bit-exact with the interpreted one, so
+        this is purely a cost call: lowering pays once and each full
+        sweep then skips the CSR permutation gathers and index rebuilds.
+        It only wins when sweeps are big enough to amortize the build —
+        uniform graphs above :data:`COMPILED_AUTO_MIN_EDGES` edges.  The
+        pure-Python reference backend has nothing to lower.
+        """
+        if backend == "reference" or not graph.uniform:
+            return "interpreted"
+        if graph.n_edges < COMPILED_AUTO_MIN_EDGES:
+            return "interpreted"
+        return "compiled"
+
+    def select_layout(self, graph: BeliefGraph, *, seed: int = 0) -> str:
+        """Belief-store layout for ``graph``, by measured plan-time probe.
+
+        Delegates to :func:`repro.kernels.autotune.autotune_layout` — a
+        deterministic decision under the fixed measurement seed, recorded
+        on the :class:`~repro.credo.runner.ExecutionPlan` for audit.
+        """
+        from repro.kernels.autotune import autotune_layout
+
+        return autotune_layout(graph, seed=seed).layout
 
     def select_full(self, graph: BeliefGraph) -> str:
         """Schedule-qualified selection, ``"<backend>:<schedule>"``."""

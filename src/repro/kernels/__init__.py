@@ -1,0 +1,54 @@
+"""repro.kernels — the compiled sweep-execution layer (DESIGN.md §13).
+
+Historically every sweep dispatched through the per-sweep kernel
+functions (:func:`repro.core.node_kernel.node_sweep`,
+:func:`repro.core.edge_kernel.edge_sweep`), recomputing the gather
+indices, reverse-edge masks and scratch arrays on every call.  This
+package lowers a ``(graph, schedule, paradigm)`` triple **once** into a
+small set of fused gather–scatter NumPy programs — message gather,
+log-space product, normalize, residual — cached on the executor object
+and reused across sweeps:
+
+:mod:`repro.kernels.executor`
+    The :class:`SweepExecutor` protocol, the ``EXECUTORS`` registry and
+    the interpreted fallback (bit-exact, the reference semantics).
+
+:mod:`repro.kernels.compiled`
+    The compiled executor: plan-time lowering, full-sweep fast paths in
+    natural edge order, preallocated scratch buffers.  Validated
+    bit-exact against the interpreted executor (posteriors ≤ 1e-12;
+    see ``tests/test_kernels_executor.py``).
+
+:mod:`repro.kernels.layout`
+    Belief-store layout as a first-class measured choice — the
+    ``LAYOUTS`` registry (``aos`` / ``soa`` / ``blocked``) and
+    structure-sharing graph conversion.
+
+:mod:`repro.kernels.autotune`
+    The plan-time layout autotuner: deterministic probe-sweep costing
+    under a fixed measurement seed, recorded on
+    :class:`repro.credo.runner.ExecutionPlan`.
+"""
+
+from repro.kernels.autotune import LayoutDecision, autotune_layout
+from repro.kernels.executor import (
+    EXECUTORS,
+    InterpretedExecutor,
+    SweepExecutor,
+    make_executor,
+    normalize_executor,
+)
+from repro.kernels.layout import LAYOUTS, normalize_layout, with_layout
+
+__all__ = [
+    "EXECUTORS",
+    "LAYOUTS",
+    "InterpretedExecutor",
+    "LayoutDecision",
+    "SweepExecutor",
+    "autotune_layout",
+    "make_executor",
+    "normalize_executor",
+    "normalize_layout",
+    "with_layout",
+]

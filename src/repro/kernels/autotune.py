@@ -1,0 +1,145 @@
+"""Plan-time layout autotuning (DESIGN.md §13.4).
+
+The paper picked AoS once, for one machine, from one cachegrind run
+(§3.4).  This module turns that one-off into a measured, per-graph
+decision: at plan time we probe a seeded sample of edges to estimate
+*gather locality* (how often an edge's source beliefs already sit in the
+cache neighbourhood of its streamed destination), then score each
+registered layout with the belief-store cache-line model:
+
+``cost(L) = G · lines_per_access(L) + n · lines_per_sweep_node(L) + D(L)``
+
+where ``G`` is the estimated number of non-local gathers per sweep and
+``D(L)`` charges layouts whose :meth:`dense` is a copy rather than a
+view (the vectorized executors materialize dense state at the graph
+boundary).  The decision is a pure function of the graph structure and
+the measurement seed — re-running with the same seed always returns the
+same :class:`LayoutDecision`, which is what makes plans reproducible and
+the parity grid meaningful.
+
+Wall-clock probe timings are *recorded* (``kernel.probe_s`` histogram)
+so ``credo profile`` can show what tuning cost, but they never influence
+the decision.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.beliefs import BLOCK_NODES, make_store
+from repro.core.graph import BeliefGraph
+from repro.kernels.layout import LAYOUTS, normalize_layout
+from repro.telemetry import get_metrics
+
+__all__ = ["LayoutDecision", "autotune_layout"]
+
+#: edges sampled by the locality probe (enough for a stable estimate,
+#: cheap enough to run at plan time on every graph)
+PROBE_EDGES = 4096
+
+#: nodes materialized per layout for the wall-clock probe
+PROBE_NODES = 2048
+
+#: source nodes within this id distance of the streamed destination are
+#: assumed cache-resident regardless of layout
+LOCALITY_WINDOW = 4 * BLOCK_NODES
+
+
+@dataclass(frozen=True)
+class LayoutDecision:
+    """The autotuner's verdict plus everything needed to audit it."""
+
+    #: chosen canonical layout name
+    layout: str
+    #: modeled cache-line cost per sweep, by layout (lower is better)
+    scores: dict[str, float] = field(default_factory=dict)
+    #: fraction of probed edges whose gather was window-local
+    locality: float = 0.0
+    #: how many edges the locality probe sampled
+    probe_edges: int = 0
+    #: measurement seed the probe sampling used
+    seed: int = 0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "layout": self.layout,
+            "scores": dict(self.scores),
+            "locality": self.locality,
+            "probe_edges": self.probe_edges,
+            "seed": self.seed,
+        }
+
+
+def _probe_locality(graph: BeliefGraph, seed: int) -> tuple[float, int]:
+    """Estimate the fraction of message gathers that stay window-local."""
+    m = graph.n_edges
+    if m == 0:
+        return 1.0, 0
+    k = min(m, PROBE_EDGES)
+    if k == m:
+        sample = np.arange(m)
+    else:
+        rng = np.random.default_rng(seed)
+        sample = rng.choice(m, size=k, replace=False)
+    local = np.abs(graph.src[sample] - graph.dst[sample]) <= LOCALITY_WINDOW
+    return float(local.mean()), int(k)
+
+
+def _time_probe(graph: BeliefGraph, layout: str) -> float:
+    """Wall-clock one dense round-trip through a small store of ``layout``.
+
+    Telemetry-only: the result feeds the ``kernel.probe_s`` histogram and
+    nothing else.
+    """
+    k = min(graph.n_nodes, PROBE_NODES)
+    dims = graph.dims[:k] if k else graph.dims
+    start = time.perf_counter()
+    store = make_store(dims, layout)
+    dense = store.dense()
+    store.load_dense(dense)
+    return time.perf_counter() - start
+
+
+def autotune_layout(
+    graph: BeliefGraph,
+    *,
+    seed: int = 0,
+    record: bool = True,
+) -> LayoutDecision:
+    """Score every registered layout against ``graph`` and pick the best.
+
+    Deterministic under a fixed ``seed``: the probe sample, the scores
+    and the tie-break (registry order) are all reproducible.  Set
+    ``record=False`` to skip the telemetry wall-clock probes (the
+    decision is identical either way).
+    """
+    locality, probed = _probe_locality(graph, seed)
+    n = graph.n_nodes
+    gathers = graph.n_edges * (1.0 - locality)
+
+    width = max(int(graph.dims.max(initial=1)), 1)
+    dense_copy_lines = 2.0 * n * (width * 4) / 64.0  # read + write a copy
+
+    hist = get_metrics().histogram("kernel.probe_s") if record else None
+    scores: dict[str, float] = {}
+    for layout in LAYOUTS:
+        # one representative-width node is enough to read the line model
+        probe_store = make_store(np.array([width], dtype=np.int64), layout)
+        access = probe_store.cache_lines_per_access()
+        sweep = probe_store.cache_lines_per_sweep_node()
+        penalty = 0.0 if probe_store.dense_is_view() else dense_copy_lines
+        scores[layout] = gathers * access + n * sweep + penalty
+        if hist is not None:
+            hist.record(_time_probe(graph, layout))
+
+    best = min(LAYOUTS, key=lambda name: (scores[name], LAYOUTS.index(name)))
+    return LayoutDecision(
+        layout=normalize_layout(best),
+        scores=scores,
+        locality=locality,
+        probe_edges=probed,
+        seed=seed,
+    )

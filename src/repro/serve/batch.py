@@ -34,15 +34,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.convergence import ConvergenceCriterion
-from repro.core.edge_kernel import edge_sweep
 from repro.core.graph import BeliefGraph
 from repro.core.loopy import LoopyConfig, _element_threshold_floor
-from repro.core.node_kernel import node_sweep
 from repro.core.observation import observe
 from repro.core.potentials import PerEdgePotentialStore, SharedPotentialStore
 from repro.core.scheduler import make_schedule
 from repro.core.state import LoopyState
 from repro.core.sweepstats import RunStats, SweepStats
+from repro.kernels.executor import SweepExecutor, make_executor
 from repro.telemetry import get_tracer
 
 __all__ = ["BatchQueryRun", "replicate_graph", "reset_union", "run_batched"]
@@ -151,6 +150,17 @@ def run_batched(
             observe(union, q * n + int(node), int(state_))
 
     state = LoopyState(union)
+    # One executor for the whole batch, lowered against the union state
+    # (the union-edge chunking below issues chunks=1 calls, so the edge
+    # program is lowered accordingly).  A full-sync batch concatenates to
+    # the union's complete element range, which is exactly the compiled
+    # executor's fused fast path.
+    executor = make_executor(
+        config.executor,
+        state,
+        paradigm=config.paradigm,
+        chunks=1 if config.paradigm == "edge" else config.edge_chunks,
+    )
     crit: ConvergenceCriterion = config.criterion
     node_paradigm = config.paradigm == "node"
     if node_paradigm:
@@ -193,7 +203,7 @@ def run_batched(
         sweep_span.__enter__()
         if node_paradigm:
             deltas_by_q, iter_stats = _node_union_sweep(
-                state, config, live, actives, n
+                state, executor, config, live, actives, n
             )
             globals_by_q = {q: float(deltas_by_q[q].sum()) for q in live}
             for q in live:
@@ -209,7 +219,7 @@ def run_batched(
                 schedules[q].update(actives[q], dq, downstream, priority)
         else:
             deltas_by_q, node_deltas_by_q, cand_by_q, iter_stats = _edge_union_sweep(
-                state, config, live, actives, graph, n, m
+                state, executor, config, live, actives, graph, n, m
             )
             globals_by_q = {q: float(node_deltas_by_q[q].sum()) for q in live}
             for q in live:
@@ -230,6 +240,7 @@ def run_batched(
         run_stats.append(iter_stats)
         if sweep_span:
             sweep_span.set(iteration=iteration, live=len(live),
+                           executor=config.executor, layout=union.layout,
                            **iter_stats.as_dict())
         sweep_span.__exit__(None, None, None)
 
@@ -270,6 +281,7 @@ def run_batched(
 
 def _node_union_sweep(
     state: LoopyState,
+    executor: SweepExecutor,
     config: LoopyConfig,
     live: list[int],
     actives: dict[int, np.ndarray],
@@ -280,7 +292,7 @@ def _node_union_sweep(
     stats = SweepStats()
     if parts:
         union_active = parts[0] if len(parts) == 1 else np.concatenate(parts)
-        deltas, stats = node_sweep(
+        deltas, stats = executor.node_sweep(
             state,
             union_active,
             update_rule=config.update_rule,
@@ -300,6 +312,7 @@ def _node_union_sweep(
 
 def _edge_union_sweep(
     state: LoopyState,
+    executor: SweepExecutor,
     config: LoopyConfig,
     live: list[int],
     actives: dict[int, np.ndarray],
@@ -350,7 +363,7 @@ def _edge_union_sweep(
         if not pieces:
             continue
         union_chunk = pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
-        chunk_deltas, _touched, chunk_stats = edge_sweep(
+        chunk_deltas, _touched, chunk_stats = executor.edge_sweep(
             state,
             union_chunk,
             update_rule=config.update_rule,

@@ -1,0 +1,31 @@
+"""RPR305 fixture: executor=/layout= literals vs the kernels registries."""
+
+from repro.core.loopy import LoopyBP
+
+
+def bad_executor():
+    return LoopyBP(executor="jit")  # FINDING: unknown executor
+
+
+def bad_layout(credo, g):
+    return credo.run(g, layout="csr")  # FINDING: unknown layout
+
+
+def bad_qualified_suffix(run):
+    return run(backend="c-node:sync!vectorized")  # RPR302 territory, not 305
+
+
+def good_canonical():
+    return LoopyBP(executor="compiled")
+
+
+def good_alias(credo, g):
+    return credo.run(g, executor="fused", layout="struct-of-arrays")
+
+
+def good_auto(credo, g):
+    return credo.run(g, executor="auto", layout="auto")
+
+
+def good_dynamic(credo, g, choice):
+    return credo.run(g, executor=choice)  # ok: not a literal
