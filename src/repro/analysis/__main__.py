@@ -21,8 +21,10 @@ from repro.analysis.framework import (
     load_baseline,
     render_json,
     render_text,
+    update_baseline,
     write_baseline,
 )
+from repro.analysis.sarif import render_sarif
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,12 +49,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="record current findings as the baseline and exit 0",
     )
     parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=(
+            "regenerate --baseline in place from current findings, "
+            "preserving recorded reasons, and exit 0"
+        ),
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit the JSON report to stdout"
     )
     parser.add_argument(
         "--json-report",
         metavar="FILE",
         help="also write the JSON report to FILE (CI artifact)",
+    )
+    parser.add_argument(
+        "--sarif", action="store_true", help="emit a SARIF 2.1.0 report to stdout"
+    )
+    parser.add_argument(
+        "--sarif-report",
+        metavar="FILE",
+        help="also write the SARIF 2.1.0 report to FILE (code-scanning upload)",
     )
     parser.add_argument(
         "--rules",
@@ -92,13 +110,31 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
 
+    if args.update_baseline:
+        if not args.baseline:
+            print("--update-baseline requires --baseline FILE", file=sys.stderr)
+            return 2
+        kept, dropped = update_baseline(result.findings, args.baseline)
+        print(
+            f"baseline: {args.baseline} regenerated with "
+            f"{len(result.findings)} finding(s) "
+            f"({kept} reason(s) preserved, {dropped} stale entries dropped)"
+        )
+        return 0
+
     if args.baseline and Path(args.baseline).exists():
         baseline = load_baseline(args.baseline)
         result.findings, result.baselined = apply_baseline(result.findings, baseline)
 
     if args.json_report:
         Path(args.json_report).write_text(render_json(result) + "\n", encoding="utf-8")
-    if args.json:
+    if args.sarif_report:
+        Path(args.sarif_report).write_text(
+            render_sarif(result, rules) + "\n", encoding="utf-8"
+        )
+    if args.sarif:
+        print(render_sarif(result, rules))
+    elif args.json:
         print(render_json(result))
     else:
         print(render_text(result))

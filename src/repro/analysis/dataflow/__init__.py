@@ -1,0 +1,62 @@
+"""Whole-program array dataflow analysis for the lint framework.
+
+Builds a project-wide symbol table and call graph
+(:mod:`~repro.analysis.dataflow.symbols`), seeds axis contracts from the
+``BeliefGraph`` structure arrays (:mod:`~repro.analysis.dataflow.contracts`)
+and propagates shape / dtype / alias facts interprocedurally with an
+abstract interpreter (:mod:`~repro.analysis.dataflow.engine`).  The RPR4xx
+rules in :mod:`repro.analysis.rules.dataflow` consume the resulting
+diagnostics.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.dataflow.axes import (
+    NAMED_AXES,
+    UNKNOWN,
+    ArrayValue,
+    ScalarValue,
+    axes_broadcastable,
+    join_values,
+)
+from repro.analysis.dataflow.engine import Diagnostic, Engine
+from repro.analysis.dataflow.symbols import ProjectIndex
+
+__all__ = [
+    "NAMED_AXES",
+    "UNKNOWN",
+    "ArrayValue",
+    "ScalarValue",
+    "axes_broadcastable",
+    "join_values",
+    "Diagnostic",
+    "Engine",
+    "ProjectIndex",
+    "DataflowProject",
+]
+
+
+class DataflowProject:
+    """One analyzed project: index + engine + memoized per-file diagnostics.
+
+    Construct it from ``(path, source, tree)`` triples (the lint
+    framework's parsed modules) and query diagnostics per file; the
+    engine interprets each function exactly once across all queries.
+    """
+
+    def __init__(self, sources: list[tuple[Path, str, object]]):
+        self.index = ProjectIndex.build(
+            [(Path(p), src, tree) for p, src, tree in sources]
+        )
+        self.engine = Engine(self.index)
+        self._by_path: dict[Path, list[Diagnostic]] | None = None
+
+    def diagnostics_for(self, path: Path) -> list[Diagnostic]:
+        if self._by_path is None:
+            self._by_path = {}
+            for module in list(self.index.modules.values()):
+                diags = self.engine.analyze_module(module)
+                self._by_path.setdefault(module.path.resolve(), []).extend(diags)
+        return self._by_path.get(Path(path).resolve(), [])

@@ -1,0 +1,100 @@
+"""Hand-seeded axis contracts for the runtime's root structures.
+
+Everything the whole-program pass knows ultimately flows from
+:class:`~repro.core.graph.BeliefGraph`: its structure arrays are the
+axioms (``src`` is ``(n_edges,)`` int64 holding *node* ids, …), and the
+contracts of every other class — :class:`~repro.core.state.LoopyState`,
+the compiled executor's scratch buffers, fixture classes in tests — are
+**derived** by abstractly interpreting their ``__init__`` against these
+seeds (see :mod:`repro.analysis.dataflow.engine`).
+
+Only the graph is seeded by hand because its arrays are built from raw
+user input (``np.asarray`` of whatever the caller passed), which is
+beyond shape inference; everything downstream is plain array algebra
+the interpreter can follow.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow.axes import ArrayValue, ScalarValue
+
+__all__ = [
+    "GRAPH_ATTRS",
+    "GRAPH_METHODS",
+    "GRAPH_SCALARS",
+    "PARAM_CLASS_CONVENTIONS",
+    "class_for_param",
+]
+
+
+def _arr(owner: str, attr: str, shape, dtype, index_space=None) -> ArrayValue:
+    return ArrayValue(
+        shape=tuple(shape),
+        dtype=dtype,
+        aliases=frozenset({f"{owner}.{attr}"}),
+        index_space=index_space,
+    )
+
+
+#: BeliefGraph structure arrays (the axioms).  ``index_space`` records
+#: what the *values* of integer arrays index into: ``src``/``dst`` hold
+#: node ids, ``reverse_edge``/``*_edge_ids`` hold edge ids.
+GRAPH_ATTRS: dict[str, ArrayValue] = {
+    "src": _arr("BeliefGraph", "src", ("n_edges",), "int64", "n_nodes"),
+    "dst": _arr("BeliefGraph", "dst", ("n_edges",), "int64", "n_nodes"),
+    "reverse_edge": _arr(
+        "BeliefGraph", "reverse_edge", ("n_edges",), "int64", "n_edges"
+    ),
+    "in_offsets": _arr("BeliefGraph", "in_offsets", ("?",), "int64", "n_edges"),
+    "in_edge_ids": _arr(
+        "BeliefGraph", "in_edge_ids", ("n_edges",), "int64", "n_edges"
+    ),
+    "out_offsets": _arr("BeliefGraph", "out_offsets", ("?",), "int64", "n_edges"),
+    "out_edge_ids": _arr(
+        "BeliefGraph", "out_edge_ids", ("n_edges",), "int64", "n_edges"
+    ),
+    "observed": _arr("BeliefGraph", "observed", ("n_nodes",), "bool"),
+    "observed_state": _arr(
+        "BeliefGraph", "observed_state", ("n_nodes",), "int64", "n_states"
+    ),
+    "dims": _arr("BeliefGraph", "dims", ("n_nodes",), "int64"),
+}
+
+#: graph methods / store accessors the interpreter treats as opaque
+#: calls with known result contracts (all return fresh buffers).
+GRAPH_METHODS: dict[str, ArrayValue] = {
+    "beliefs.dense": ArrayValue(("n_nodes", "n_states"), "float32"),
+    "priors.dense": ArrayValue(("n_nodes", "n_states"), "float32"),
+    "potentials.stacked": ArrayValue(
+        ("n_edges", "n_states", "n_states"), "float32"
+    ),
+    "potentials.matrix": ArrayValue(("n_states", "n_states"), "float32"),
+    "in_degree": ArrayValue(("n_nodes",), "int64"),
+    "out_degree": ArrayValue(("n_nodes",), "int64"),
+    "in_edges": ArrayValue(("?",), "int64", index_space="n_edges"),
+    "out_edges": ArrayValue(("?",), "int64", index_space="n_edges"),
+}
+
+#: scalar attributes naming a project dimension
+GRAPH_SCALARS: dict[str, ScalarValue] = {
+    "n_nodes": ScalarValue("n_nodes", "int64"),
+    "n_edges": ScalarValue("n_edges", "int64"),
+    "n_states": ScalarValue("n_states", "int64"),
+}
+
+#: parameter-name conventions: a bare parameter with one of these names
+#: is assumed to carry the corresponding class's contracts.  This is how
+#: interprocedural propagation enters a function that takes ``state`` or
+#: ``graph`` without annotations.
+PARAM_CLASS_CONVENTIONS: dict[str, str] = {
+    "graph": "BeliefGraph",
+    "union": "BeliefGraph",
+    "state": "LoopyState",
+}
+
+
+def class_for_param(name: str, annotation: str | None = None) -> str | None:
+    """Resolve a parameter to a contract class via annotation or name."""
+    if annotation in ("BeliefGraph", "LoopyState"):
+        return annotation
+    return PARAM_CLASS_CONVENTIONS.get(name)

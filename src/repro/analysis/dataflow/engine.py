@@ -1,0 +1,1515 @@
+"""Abstract interpreter propagating shape/dtype/alias facts interprocedurally.
+
+One :class:`Engine` is built per analyzed project.  For every function it
+runs a flow-sensitive pass over the AST with parameters bound through the
+conventions in :mod:`~repro.analysis.dataflow.contracts` (``graph`` →
+``BeliefGraph`` seeds, ``state``/``self`` → contracts *derived* by
+interpreting the owning class's ``__init__``).  Each pass yields both a
+:class:`FunctionSummary` (consumed at call sites) and the function's
+:class:`Diagnostic` list (consumed by the RPR4xx rules); both are memoized
+so every function is interpreted exactly once.
+
+Diagnostic kinds map 1:1 onto the rule family:
+
+* ``shape-mismatch`` / ``gather-mismatch`` → RPR401
+* ``dtype-downcast``                       → RPR402
+* ``war-hazard``                           → RPR403
+* ``scratch-escape``                       → RPR404
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.dataflow.axes import (
+    NAMED_AXES,
+    UNKNOWN,
+    ArrayValue,
+    ScalarValue,
+    axes_broadcastable,
+    broadcast_shapes,
+    join_values,
+    promote_dtype,
+)
+from repro.analysis.dataflow.contracts import (
+    GRAPH_ATTRS,
+    GRAPH_METHODS,
+    GRAPH_SCALARS,
+    class_for_param,
+)
+from repro.analysis.dataflow.symbols import FunctionInfo, ModuleInfo, ProjectIndex
+
+__all__ = ["Diagnostic", "Engine", "ClassContracts", "FunctionSummary"]
+
+
+@dataclass(frozen=True)
+class Instance:
+    """An object of a known contract class (``self``, ``state``, ``graph``)."""
+
+    class_name: str
+
+
+@dataclass(frozen=True)
+class DtypeValue:
+    """A dtype object (``np.float32``, ``_FLOAT``)."""
+
+    name: str
+
+
+@dataclass
+class Diagnostic:
+    kind: str
+    node: ast.AST
+    func: FunctionInfo
+    message: str
+
+
+@dataclass
+class ClassContracts:
+    name: str
+    attrs: dict = field(default_factory=dict)
+    #: attr names of scratch buffers: allocated raw in ``__init__`` and
+    #: reused as ``out=`` targets by the class's own methods
+    scratch: frozenset = frozenset()
+
+
+@dataclass
+class FunctionSummary:
+    """Call-site-visible effect of one function."""
+
+    returns: object = None  # value, tuple of values, or None
+
+
+_ALLOC_FUNCS = {"empty", "zeros", "ones", "full", "eye"}
+_PASSTHROUGH_FRESH = {"safe_log", "normalize_rows", "_normalize_fast"}
+_ELEMWISE_UNARY = {"abs", "exp", "log", "log2", "sqrt", "negative", "square"}
+_ELEMWISE_BINARY = {
+    "add", "subtract", "multiply", "divide", "true_divide", "maximum",
+    "minimum", "power", "float_power", "logaddexp",
+}
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_full_slice(sl: ast.AST) -> bool:
+    return (
+        isinstance(sl, ast.Slice)
+        and sl.lower is None and sl.upper is None and sl.step is None
+    )
+
+
+# ----------------------------------------------------------------------
+# Occurrence scan: source-ordered loads/kills per tracked dotted name,
+# used by the write-after-read (RPR403) check.
+# ----------------------------------------------------------------------
+class _Occurrences:
+    def __init__(self, func: ast.FunctionDef):
+        self.events: list[tuple[int, str, str]] = []  # (stmt idx, name, kind)
+        self.stmt_index: dict[int, int] = {}  # id(stmt) → idx
+        self.loop_span: dict[int, tuple[int, int]] = {}  # id(stmt) → innermost loop
+        self._counter = 0
+        self._loops: list[tuple[int, int]] = []  # (start idx, id(loop))
+        self._walk_body(func.body)
+
+    def _walk_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            idx = self._counter
+            self._counter += 1
+            self.stmt_index[id(stmt)] = idx
+            if self._loops:
+                self.loop_span[id(stmt)] = (self._loops[-1][0], -1)
+            self._collect_events(stmt, idx)
+            if isinstance(stmt, (ast.For, ast.While)):
+                self._loops.append((idx, id(stmt)))
+                self._walk_body(stmt.body)
+                start = self._loops.pop()[0]
+                end = self._counter
+                for sid, (s, e) in list(self.loop_span.items()):
+                    if s == start and e == -1:
+                        self.loop_span[sid] = (start, end)
+                self._walk_body(stmt.orelse)
+            elif isinstance(stmt, ast.If):
+                self._walk_body(stmt.body)
+                self._walk_body(stmt.orelse)
+            elif isinstance(stmt, (ast.With, ast.Try)):
+                self._walk_body(getattr(stmt, "body", []))
+                for handler in getattr(stmt, "handlers", []):
+                    self._walk_body(handler.body)
+                self._walk_body(getattr(stmt, "orelse", []))
+                self._walk_body(getattr(stmt, "finalbody", []))
+
+    def _collect_events(self, stmt: ast.stmt, idx: int) -> None:
+        skip: set[int] = set()  # ids of expression nodes excluded from loads
+        kills: list[str] = []
+
+        def note_store_target(t: ast.expr) -> None:
+            if isinstance(t, (ast.Name, ast.Attribute)):
+                name = dotted_name(t)
+                if name:
+                    kills.append(name)
+                skip.add(id(t))
+            elif isinstance(t, ast.Subscript):
+                base = dotted_name(t.value)
+                if base:
+                    skip.add(id(t.value))
+                    if _is_full_slice(t.slice):
+                        kills.append(base)
+            elif isinstance(t, (ast.Tuple, ast.List)):
+                for el in t.elts:
+                    note_store_target(el)
+
+        if isinstance(stmt, ast.Assign):
+            for t in stmt.targets:
+                note_store_target(t)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.target is not None:
+            note_store_target(stmt.target)
+        elif isinstance(stmt, ast.AugAssign):
+            # reads the old value, so the base stays a load; no kill
+            pass
+        elif isinstance(stmt, ast.For):
+            note_store_target(stmt.target)
+
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.stmt) and node is not stmt:
+                break  # nested statements get their own indices
+            if isinstance(node, ast.Call):
+                if isinstance(node.func, (ast.Name, ast.Attribute)):
+                    skip.add(id(node.func))
+                for kw in node.keywords:
+                    if kw.arg == "out":
+                        target = kw.value
+                        if isinstance(target, ast.Subscript):
+                            skip.add(id(target.value))
+                        else:
+                            name = dotted_name(target)
+                            if name:
+                                kills.append(name)
+                            skip.add(id(target))
+
+        loads: set[str] = set()
+        for node in ast.walk(stmt):
+            if id(node) in skip:
+                continue
+            if isinstance(node, (ast.Name, ast.Attribute)) and isinstance(
+                getattr(node, "ctx", None), ast.Load
+            ):
+                # only record the outermost chain, not its sub-chains
+                name = dotted_name(node)
+                if name:
+                    loads.add(name)
+        # sub-chain cleanup: "state.beliefs" load also walked "state";
+        # keep both — a read through any prefix is still a read
+        for name in sorted(loads):
+            self.events.append((idx, name, "load"))
+        for name in kills:
+            self.events.append((idx, name, "kill"))
+
+    # -- queries --------------------------------------------------------
+    def live_after(self, stmt: ast.stmt, name: str) -> bool:
+        """Is ``name`` read after ``stmt`` before being rebound?  Wraps
+        around the innermost enclosing loop (a value written late in an
+        iteration can be read at the top of the next one)."""
+        idx = self.stmt_index.get(id(stmt))
+        if idx is None:
+            return False
+        following = sorted(
+            (i, kind) for i, n, kind in self.events if n == name and i > idx
+        )
+        span = self.loop_span.get(id(stmt))
+        if span is not None:
+            following = [(i, k) for i, k in following if i < span[1]]
+        for _, kind in following:
+            return kind == "load"
+        if span is not None:
+            wrapped = sorted(
+                (i, kind)
+                for i, n, kind in self.events
+                if n == name and span[0] <= i < idx
+            )
+            for _, kind in wrapped:
+                return kind == "load"
+        return False
+
+
+# ----------------------------------------------------------------------
+class Engine:
+    """Whole-program shape/dtype/alias propagation with memoized
+    per-function passes."""
+
+    def __init__(self, index: ProjectIndex):
+        self.index = index
+        self._classes: dict[str, ClassContracts | None] = {}
+        self._deriving: set[str] = set()
+        self._runs: dict[str, tuple[FunctionSummary, list[Diagnostic]]] = {}
+        self._running: set[str] = set()
+        self._module_envs: dict[str, dict] = {}
+        self._fresh_counter = 0
+
+    # -- public API -----------------------------------------------------
+    def analyze_module(self, module: ModuleInfo) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for finfo in self.index.functions.values():
+            if finfo.module is module:
+                _, diags = self.run_function(finfo)
+                out.extend(diags)
+        return out
+
+    def class_contracts(self, name: str) -> ClassContracts | None:
+        if name in self._classes:
+            return self._classes[name]
+        if name == "BeliefGraph":
+            attrs: dict = dict(GRAPH_ATTRS)
+            attrs.update(GRAPH_SCALARS)
+            contracts = ClassContracts("BeliefGraph", attrs)
+            self._classes[name] = contracts
+            return contracts
+        cinfo = self.index.resolve_class(name)
+        if cinfo is None or name in self._deriving:
+            return None
+        init = cinfo.methods.get("__init__")
+        if init is None:
+            self._classes[name] = ClassContracts(name)
+            return self._classes[name]
+        self._deriving.add(name)
+        try:
+            interp = _Interp(self, init, collect_attrs=True)
+            interp.run()
+            raw_allocs = interp.raw_alloc_attrs
+        finally:
+            self._deriving.discard(name)
+        out_targets = self._out_target_attrs(cinfo)
+        contracts = ClassContracts(
+            name, interp.self_attrs, frozenset(raw_allocs & out_targets)
+        )
+        self._classes[name] = contracts
+        return contracts
+
+    def run_function(
+        self, finfo: FunctionInfo
+    ) -> tuple[FunctionSummary, list[Diagnostic]]:
+        key = finfo.qualname
+        if key in self._runs:
+            return self._runs[key]
+        if key in self._running:
+            return FunctionSummary(), []
+        self._running.add(key)
+        try:
+            interp = _Interp(self, finfo)
+            summary, diags = interp.run()
+        finally:
+            self._running.discard(key)
+        self._runs[key] = (summary, diags)
+        return summary, diags
+
+    # -- helpers --------------------------------------------------------
+    def _out_target_attrs(self, cinfo) -> set[str]:
+        """Attr names appearing as (possibly sliced) ``out=`` targets in
+        any method of the class."""
+        targets: set[str] = set()
+        for node in ast.walk(cinfo.node):
+            if not isinstance(node, ast.Call):
+                continue
+            for kw in node.keywords:
+                if kw.arg != "out":
+                    continue
+                expr = kw.value
+                if isinstance(expr, ast.Subscript):
+                    expr = expr.value
+                name = dotted_name(expr)
+                if name and name.startswith("self."):
+                    targets.add(name.split(".", 1)[1])
+        return targets
+
+    def fresh_token(self, hint: str) -> str:
+        self._fresh_counter += 1
+        return f"local:{hint}@{self._fresh_counter}"
+
+    def module_env(self, module: ModuleInfo) -> dict:
+        env = self._module_envs.get(module.name)
+        if env is not None:
+            return env
+        env = {}
+        self._module_envs[module.name] = env
+        interp = _Interp(self, None, module=module)
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    try:
+                        env[target.id] = interp.eval(stmt.value)
+                    except Exception:
+                        env[target.id] = None
+        return env
+
+    def lookup_global(self, module: ModuleInfo, name: str):
+        env = self.module_env(module)
+        if name in env and env[name] is not None:
+            return env[name]
+        target = module.imports.get(name)
+        if target:
+            mod_name, _, attr = target.rpartition(".")
+            other = self.index.modules.get(mod_name)
+            if other is not None:
+                other_env = self.module_env(other)
+                if attr in other_env:
+                    return other_env[attr]
+            cls = self.index.resolve_class(name)
+            if cls is not None:
+                return None
+        return None
+
+
+# ----------------------------------------------------------------------
+class _Interp:
+    """Flow-sensitive interpretation of one function body."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        finfo: FunctionInfo | None,
+        *,
+        module: ModuleInfo | None = None,
+        collect_attrs: bool = False,
+    ):
+        self.engine = engine
+        self.finfo = finfo
+        self.module = module if module is not None else (finfo.module if finfo else None)
+        self.env: dict[str, object] = {}
+        self.diags: list[Diagnostic] = []
+        self.returns: list[object] = []
+        self.collect_attrs = collect_attrs
+        self.self_attrs: dict[str, object] = {}
+        self.raw_alloc_attrs: set[str] = set()
+        self._cur_stmt: ast.stmt | None = None
+        self._occ: _Occurrences | None = None
+        self._self_class: str | None = None
+        if finfo is not None:
+            self._bind_params()
+
+    # -- setup ----------------------------------------------------------
+    def _bind_params(self) -> None:
+        fn = self.finfo
+        args = fn.node.args
+        params = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        for i, arg in enumerate(params):
+            name = arg.arg
+            if name == "self" and fn.cls is not None:
+                self._self_class = fn.cls.name
+                self.env[name] = Instance(fn.cls.name)
+                continue
+            ann = None
+            if arg.annotation is not None:
+                ann = dotted_name(arg.annotation) or (
+                    arg.annotation.value
+                    if isinstance(arg.annotation, ast.Constant)
+                    else None
+                )
+                if isinstance(ann, str):
+                    ann = ann.split(".")[-1].strip('"')
+            cls = class_for_param(name, ann)
+            if cls is not None:
+                self.env[name] = Instance(cls)
+            else:
+                self.env[name] = ArrayValue(
+                    aliases=frozenset({f"<param:{fn.qualname}:{i}>"})
+                )
+
+    def run(self) -> tuple[FunctionSummary, list[Diagnostic]]:
+        if self.finfo is not None:
+            self._occ = _Occurrences(self.finfo.node)
+            self.exec_body(self.finfo.node.body)
+        ret = None
+        for r in self.returns:
+            ret = r if ret is None else self._join_returns(ret, r)
+        return FunctionSummary(returns=ret), self.diags
+
+    @staticmethod
+    def _join_returns(a, b):
+        if isinstance(a, tuple) and isinstance(b, tuple) and len(a) == len(b):
+            return tuple(join_values(x, y) for x, y in zip(a, b))
+        return join_values(a, b) if not isinstance(a, tuple) else a
+
+    def diag(self, kind: str, node: ast.AST, message: str) -> None:
+        if self.finfo is not None:
+            self.diags.append(Diagnostic(kind, node, self.finfo, message))
+
+    # -- statement execution --------------------------------------------
+    def exec_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._cur_stmt = stmt
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value)
+            for target in stmt.targets:
+                self.assign(target, value, stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.assign(stmt.target, self.eval(stmt.value), stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            value = self.eval(stmt.value)
+            current = self.eval_target_load(stmt.target)
+            if isinstance(current, ArrayValue) and isinstance(value, ArrayValue):
+                shape, conflict = (
+                    broadcast_shapes(current.shape, value.shape)
+                    if current.shape is not None and value.shape is not None
+                    else (None, None)
+                )
+                if conflict:
+                    self.diag(
+                        "shape-mismatch", stmt,
+                        f"in-place update aligns axis {conflict[0]!r} with "
+                        f"{conflict[1]!r}",
+                    )
+                self._check_store_dtype(stmt, current, value, "in-place update")
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.Return):
+            value = self.eval(stmt.value) if stmt.value is not None else None
+            self._check_scratch_escape(stmt, value)
+            self.returns.append(value)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            before_env = dict(self.env)
+            before_attrs = dict(self.self_attrs)
+            self.exec_body(stmt.body)
+            then_env, then_attrs = self.env, self.self_attrs
+            self.env, self.self_attrs = dict(before_env), dict(before_attrs)
+            self.exec_body(stmt.orelse)
+            self.env = self._join_envs(then_env, self.env)
+            self.self_attrs = self._join_envs(then_attrs, self.self_attrs)
+        elif isinstance(stmt, (ast.For, ast.While)):
+            if isinstance(stmt, ast.For):
+                self.eval(stmt.iter)
+                self.assign(stmt.target, self._loop_var_value(stmt.iter), stmt)
+            else:
+                self.eval(stmt.test)
+            before = dict(self.env)
+            self.exec_body(stmt.body)
+            self.env = self._join_envs(before, self.env)
+            self.exec_body(stmt.orelse)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self.assign(item.optional_vars, None, stmt)
+            self.exec_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.exec_body(stmt.body)
+            for handler in stmt.handlers:
+                saved = dict(self.env)
+                self.exec_body(handler.body)
+                self.env = self._join_envs(saved, self.env)
+            self.exec_body(stmt.orelse)
+            self.exec_body(stmt.finalbody)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+        # nested defs, pass, etc.: no effect on the array state
+
+    @staticmethod
+    def _join_envs(a: dict, b: dict) -> dict:
+        out: dict = {}
+        for key in set(a) | set(b):
+            if key in a and key in b:
+                va, vb = a[key], b[key]
+                if isinstance(va, Instance) and va == vb:
+                    out[key] = va
+                else:
+                    out[key] = join_values(va, vb)
+            else:
+                out[key] = a.get(key) if key in a else b.get(key)
+        return out
+
+    def _loop_var_value(self, iter_expr: ast.expr):
+        value = self.eval(iter_expr)
+        if isinstance(value, ArrayValue):
+            if value.shape is not None and len(value.shape) > 1:
+                return ArrayValue(value.shape[1:], value.dtype, value.aliases)
+            return ScalarValue(axis=None, dtype=value.dtype)
+        if isinstance(iter_expr, ast.Call) and isinstance(iter_expr.func, ast.Name):
+            if iter_expr.func.id == "range":
+                return ScalarValue(None, "int64")
+        return None
+
+    # -- assignment ------------------------------------------------------
+    def assign(self, target: ast.expr, value, stmt: ast.stmt) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+            # a rebound name also clears any stale dotted entries under it
+            prefix = target.id + "."
+            for key in [k for k in self.env if k.startswith(prefix)]:
+                del self.env[key]
+        elif isinstance(target, ast.Attribute):
+            name = dotted_name(target)
+            base = dotted_name(target.value)
+            if name is None:
+                return
+            if base == "self" and self._self_class is not None:
+                stored = value
+                if isinstance(value, ArrayValue):
+                    token = f"{self._self_class}.{target.attr}"
+                    stored = ArrayValue(
+                        value.shape, value.dtype,
+                        value.aliases | {token} if value.aliases else frozenset({token}),
+                        value.index_space,
+                    )
+                    if self.collect_attrs and self._was_raw_alloc(stmt):
+                        self.raw_alloc_attrs.add(target.attr)
+                if self.collect_attrs:
+                    self.self_attrs[target.attr] = stored
+                self.env[name] = stored
+            else:
+                base_val = self.env.get(base) if base else None
+                if (
+                    isinstance(base_val, Instance)
+                    and base != "self"
+                    and isinstance(value, ArrayValue)
+                    and self._scratch_tokens() & value.aliases
+                ):
+                    self.diag(
+                        "scratch-escape", stmt,
+                        f"scratch buffer stored on foreign object {base!r} "
+                        "outlives the sweep",
+                    )
+                self.env[name] = value
+        elif isinstance(target, ast.Subscript):
+            self._store_subscript(target, value, stmt)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            parts = (
+                value if isinstance(value, tuple) and len(value) == len(target.elts)
+                else (None,) * len(target.elts)
+            )
+            for el, part in zip(target.elts, parts):
+                self.assign(el, part, stmt)
+
+    def _was_raw_alloc(self, stmt: ast.stmt) -> bool:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                fname = dotted_name(node.func) or ""
+                if fname.split(".")[-1] in _ALLOC_FUNCS:
+                    return True
+        return False
+
+    def _store_subscript(self, target: ast.Subscript, value, stmt: ast.stmt) -> None:
+        base = self.eval_target_load(target.value)
+        self.eval(target.slice)
+        if not isinstance(base, ArrayValue):
+            return
+        if isinstance(value, ArrayValue):
+            self._check_store_dtype(stmt, base, value, "element store")
+            self._check_gather(target, base, target.slice)
+        name = dotted_name(target.value)
+        if name and _is_full_slice(target.slice) and isinstance(value, ArrayValue):
+            # X[:] = v : contents replaced wholesale; keep the binding
+            pass
+
+    def _check_store_dtype(self, node, target, value, what: str) -> None:
+        if (
+            isinstance(target, ArrayValue)
+            and isinstance(value, ArrayValue)
+            and target.dtype == "float32"
+            and value.dtype == "float64"
+        ):
+            self.diag(
+                "dtype-downcast", node,
+                f"{what} silently downcasts float64 data into a float32 "
+                "buffer; add an explicit .astype or compute in float32",
+            )
+
+    # -- scratch ---------------------------------------------------------
+    def _scratch_tokens(self) -> frozenset:
+        if self._self_class is None:
+            return frozenset()
+        contracts = self.engine.class_contracts(self._self_class)
+        if contracts is None:
+            return frozenset()
+        return frozenset(f"{contracts.name}.{a}" for a in contracts.scratch)
+
+    def _check_scratch_escape(self, stmt: ast.stmt, value) -> None:
+        if self.finfo is None or self.finfo.name.startswith("_"):
+            return
+        tokens = self._scratch_tokens()
+        if not tokens:
+            return
+        values = value if isinstance(value, tuple) else (value,)
+        for v in values:
+            if isinstance(v, ArrayValue) and v.aliases & tokens:
+                leaked = sorted(v.aliases & tokens)[0]
+                self.diag(
+                    "scratch-escape", stmt,
+                    f"public method returns scratch buffer {leaked!r}; the "
+                    "next sweep overwrites it under the caller's feet",
+                )
+
+    # -- expression evaluation ------------------------------------------
+    def eval_target_load(self, node: ast.expr):
+        """Evaluate an expression that syntactically sits in Store context
+        (the base of a subscript/aug assignment)."""
+        return self._eval_chain(node)
+
+    def eval(self, node: ast.expr | None):
+        if node is None:
+            return None
+        if isinstance(node, ast.Constant):
+            v = node.value
+            if isinstance(v, bool):
+                return ScalarValue(None, "bool")
+            if isinstance(v, int):
+                return ScalarValue(None, "int64")
+            if isinstance(v, float):
+                return ScalarValue(None, None)  # weak python float (NEP 50)
+            return None
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            return self._eval_chain(node)
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            inner = self.eval(node.operand)
+            if isinstance(node.op, ast.Not):
+                return ScalarValue(None, "bool")
+            if isinstance(node.op, ast.Invert) and isinstance(inner, ArrayValue):
+                return ArrayValue(inner.shape, inner.dtype)  # ~mask: fresh
+            return inner
+        if isinstance(node, ast.Compare):
+            left = self.eval(node.left)
+            rights = [self.eval(c) for c in node.comparators]
+            for right in rights:
+                if isinstance(left, ArrayValue) and isinstance(right, ArrayValue):
+                    if left.shape is not None and right.shape is not None:
+                        shape, conflict = broadcast_shapes(left.shape, right.shape)
+                        if conflict:
+                            self.diag(
+                                "shape-mismatch", node,
+                                f"comparison aligns axis {conflict[0]!r} with "
+                                f"{conflict[1]!r}",
+                            )
+                        else:
+                            return ArrayValue(shape, "bool")
+                    return ArrayValue(None, "bool")
+            if isinstance(left, ArrayValue):
+                return ArrayValue(left.shape, "bool")
+            return ScalarValue(None, "bool")
+        if isinstance(node, ast.BoolOp):
+            for v in node.values:
+                self.eval(v)
+            return None
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            return join_values(self.eval(node.body), self.eval(node.orelse))
+        if isinstance(node, ast.Tuple):
+            return tuple(self.eval(el) for el in node.elts)
+        if isinstance(node, (ast.List, ast.Set, ast.Dict, ast.ListComp,
+                             ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+            return None
+        if isinstance(node, ast.NamedExpr):
+            value = self.eval(node.value)
+            self.assign(node.target, value, self._cur_stmt or ast.Pass())
+            return value
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, ast.JoinedStr):
+            return None
+        return None
+
+    def _eval_chain(self, node: ast.expr):
+        name = dotted_name(node)
+        if name is None:
+            if isinstance(node, ast.Attribute):
+                base = self.eval(node.value)
+                return self._attr_of(base, node.attr, node)
+            return self.eval(node)
+        if name in self.env:
+            return self.env[name]
+        if "." not in name:
+            value = (
+                self.engine.lookup_global(self.module, name)
+                if self.module is not None
+                else None
+            )
+            if value is not None:
+                return value
+            # numpy dtype constructors through the module's aliases
+            target = self.module.imports.get(name) if self.module else None
+            if target in ("numpy", "np"):
+                return Instance("__numpy__")
+            return None
+        base_name, _, attr = name.rpartition(".")
+        base = self._eval_chain(_chain_node(node))
+        return self._attr_of(base, attr, node)
+
+    def _attr_of(self, base, attr: str, node: ast.expr):
+        if isinstance(base, ArrayValue):
+            if attr == "T":
+                shape = tuple(reversed(base.shape)) if base.shape else None
+                return ArrayValue(shape, base.dtype, base.aliases)
+            if attr == "shape":
+                if base.shape is None:
+                    return None
+                return tuple(
+                    ScalarValue(a if a in NAMED_AXES else None, "int64")
+                    for a in base.shape
+                )
+            if attr in ("size", "ndim", "nbytes", "itemsize"):
+                return ScalarValue(None, "int64")
+            return None
+        if isinstance(base, Instance):
+            if base.class_name == "__numpy__":
+                if attr in ("float32", "float64", "int64", "bool_", "intp"):
+                    return DtypeValue(attr.rstrip("_").replace("intp", "int64"))
+                return None
+            contracts = self.engine.class_contracts(base.class_name)
+            if contracts is not None and attr in contracts.attrs:
+                return contracts.attrs[attr]
+            return None
+        return None
+
+    # -- subscripts ------------------------------------------------------
+    def _eval_subscript(self, node: ast.Subscript):
+        base = self.eval(node.value)
+        if isinstance(base, tuple):
+            if isinstance(node.slice, ast.Constant) and isinstance(
+                node.slice.value, int
+            ):
+                i = node.slice.value
+                if -len(base) <= i < len(base):
+                    return base[i]
+            return None
+        if not isinstance(base, ArrayValue):
+            self.eval(node.slice)
+            return None
+        return self._index(base, node.slice, node)
+
+    def _index(self, base: ArrayValue, sl: ast.expr, node: ast.AST):
+        shape = base.shape
+        if isinstance(sl, ast.Tuple):
+            dims = list(sl.elts)
+        else:
+            dims = [sl]
+        # advanced indexing with an array anywhere → fresh copy
+        idx_vals = [self.eval(d) if not isinstance(d, ast.Slice) else None
+                    for d in dims]
+        has_array = any(isinstance(v, ArrayValue) for v in idx_vals)
+        if has_array and len(dims) == 1 and isinstance(idx_vals[0], ArrayValue):
+            idx = idx_vals[0]
+            self._check_gather_pair(node, base, idx)
+            if idx.dtype == "bool":
+                rest = shape[1:] if shape else None
+                out_shape = ("?",) + rest if rest is not None else None
+                return ArrayValue(out_shape, base.dtype, frozenset(), base.index_space)
+            first = idx.shape[0] if idx.shape else UNKNOWN
+            rest = shape[1:] if shape else ()
+            out_shape = (first,) + tuple(rest) if shape is not None else None
+            return ArrayValue(out_shape, base.dtype, frozenset(), base.index_space)
+        if has_array:
+            return ArrayValue(None, base.dtype, frozenset(), base.index_space)
+        # basic indexing: a view that aliases the base
+        if shape is None:
+            return ArrayValue(None, base.dtype, base.aliases, base.index_space)
+        out: list[str] = []
+        axis = 0
+        for d, v in zip(dims, idx_vals):
+            if isinstance(d, ast.Slice):
+                if axis < len(shape):
+                    out.append(shape[axis] if _is_full_slice(d) else UNKNOWN)
+                axis += 1
+            elif isinstance(d, ast.Constant) and d.value is None:
+                out.append("1")
+            elif isinstance(d, ast.Constant) and d.value is Ellipsis:
+                take = len(shape) - (len(dims) - 1)
+                out.extend(shape[axis : axis + max(take, 0)])
+                axis += max(take, 0)
+            else:
+                axis += 1  # integer index: drops the axis
+        out.extend(shape[axis:])
+        return ArrayValue(tuple(out), base.dtype, base.aliases, base.index_space)
+
+    def _check_gather(self, node: ast.AST, base: ArrayValue, sl: ast.expr) -> None:
+        idx = self.eval(sl) if not isinstance(sl, ast.Slice) else None
+        if isinstance(idx, ArrayValue):
+            self._check_gather_pair(node, base, idx)
+
+    def _check_gather_pair(self, node: ast.AST, base: ArrayValue, idx: ArrayValue):
+        if idx.dtype == "bool":
+            # boolean mask: its *length* must match the indexed axis
+            if (
+                idx.shape and base.shape
+                and not _axes_ok(idx.shape[0], base.shape[0])
+            ):
+                self.diag(
+                    "gather-mismatch", node,
+                    f"boolean mask over axis {idx.shape[0]!r} applied to an "
+                    f"array indexed by {base.shape[0]!r}",
+                )
+            return
+        if (
+            idx.index_space is not None
+            and base.shape
+            and not _axes_ok(idx.index_space, base.shape[0])
+        ):
+            self.diag(
+                "gather-mismatch", node,
+                f"index array holds {idx.index_space!r} ids but gathers from "
+                f"an array indexed by {base.shape[0]!r}",
+            )
+
+    # -- binary ops ------------------------------------------------------
+    def _eval_binop(self, node: ast.BinOp):
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        if isinstance(node.op, ast.MatMult):
+            return self._matmul(node, left, right)
+        if isinstance(left, ArrayValue) and isinstance(right, ArrayValue):
+            shape = None
+            if left.shape is not None and right.shape is not None:
+                shape, conflict = broadcast_shapes(left.shape, right.shape)
+                if conflict:
+                    self.diag(
+                        "shape-mismatch", node,
+                        f"operands align axis {conflict[0]!r} with "
+                        f"{conflict[1]!r}; these dimensions are distinct",
+                    )
+            dtype = self._binop_dtype(node.op, left.dtype, right.dtype)
+            return ArrayValue(shape, dtype, frozenset(),
+                              self._binop_space(node.op, left, right))
+        arr, other = (
+            (left, right) if isinstance(left, ArrayValue) else (right, left)
+        )
+        if isinstance(arr, ArrayValue):
+            dtype = arr.dtype
+            if isinstance(other, ScalarValue) and other.dtype is not None:
+                dtype = promote_dtype(arr.dtype, other.dtype)
+            elif isinstance(node.op, ast.Div) and arr.dtype in ("int64", "bool"):
+                dtype = "float64"
+            space = arr.index_space if isinstance(node.op, (ast.Add, ast.Sub)) else None
+            return ArrayValue(arr.shape, dtype, frozenset(), space)
+        if isinstance(left, ScalarValue) and isinstance(right, ScalarValue):
+            axis = None
+            dtype = promote_dtype(left.dtype, right.dtype) or (
+                left.dtype or right.dtype
+            )
+            return ScalarValue(axis, dtype)
+        return None
+
+    @staticmethod
+    def _binop_space(op, left: ArrayValue, right: ArrayValue):
+        # id arithmetic: offset + rank keeps the space; same-space
+        # subtraction yields counts, not ids
+        if isinstance(op, ast.Add):
+            if left.index_space and not right.index_space:
+                return left.index_space
+            if right.index_space and not left.index_space:
+                return right.index_space
+            if left.index_space == right.index_space:
+                return None if left.index_space else None
+        return None
+
+    @staticmethod
+    def _binop_dtype(op, a: str | None, b: str | None) -> str | None:
+        if isinstance(op, ast.Div):
+            if a in ("int64", "bool") and b in ("int64", "bool"):
+                return "float64"
+        return promote_dtype(a, b)
+
+    def _matmul(self, node, left, right):
+        if not (isinstance(left, ArrayValue) and isinstance(right, ArrayValue)):
+            return None
+        if (
+            left.shape is not None and right.shape is not None
+            and len(left.shape) == 2 and len(right.shape) == 2
+        ):
+            if not _axes_ok(left.shape[1], right.shape[0]):
+                self.diag(
+                    "shape-mismatch", node,
+                    f"matmul contracts axis {left.shape[1]!r} against "
+                    f"{right.shape[0]!r}",
+                )
+            return ArrayValue(
+                (left.shape[0], right.shape[1]),
+                promote_dtype(left.dtype, right.dtype),
+            )
+        return ArrayValue(None, promote_dtype(left.dtype, right.dtype))
+
+    # -- calls -----------------------------------------------------------
+    def _eval_call(self, node: ast.Call):
+        func = node.func
+        # numpy: resolved through the module's import aliases
+        fname = dotted_name(func)
+        if fname is not None and self.module is not None:
+            root = fname.split(".")[0]
+            if self.module.imports.get(root) == "numpy" or root == "numpy":
+                return self._numpy_call(node, fname.split(".", 1)[-1])
+        # builtins
+        if isinstance(func, ast.Name):
+            if func.id == "len":
+                arg = self.eval(node.args[0]) if node.args else None
+                if isinstance(arg, ArrayValue) and arg.shape:
+                    return ScalarValue(arg.shape[0], "int64")
+                return ScalarValue(None, "int64")
+            if func.id in ("int", "round"):
+                for a in node.args:
+                    self.eval(a)
+                return ScalarValue(None, "int64")
+            if func.id in ("float", "min", "max", "sum", "abs"):
+                for a in node.args:
+                    self.eval(a)
+                return ScalarValue(None, None)
+            if func.id == "range":
+                for a in node.args:
+                    self.eval(a)
+                return None
+        # graph store accessors through a dotted chain:
+        # graph.beliefs.dense(), self.graph.potentials.stacked(), ...
+        if isinstance(func, ast.Attribute) and fname is not None:
+            parts = fname.split(".")
+            for cut in range(len(parts) - 1, 0, -1):
+                prefix = ".".join(parts[:cut])
+                value = self._value_of_dotted(prefix)
+                if isinstance(value, Instance):
+                    rest = ".".join(parts[cut:])
+                    if value.class_name == "BeliefGraph" and rest in GRAPH_METHODS:
+                        for a in node.args:
+                            self.eval(a)
+                        contract = GRAPH_METHODS[rest]
+                        return ArrayValue(
+                            contract.shape, contract.dtype,
+                            frozenset({self.engine.fresh_token(rest)}),
+                            contract.index_space,
+                        )
+                    break
+        # method on an evaluated array
+        if isinstance(func, ast.Attribute):
+            base = self.eval(func.value)
+            if isinstance(base, ArrayValue):
+                return self._array_method(node, base, func.attr)
+            if isinstance(base, Instance):
+                return self._instance_method(node, base, func)
+        # known helpers and project functions
+        if isinstance(func, ast.Name):
+            return self._project_call(node, func.id)
+        for a in node.args:
+            self.eval(a)
+        for kw in node.keywords:
+            self.eval(kw.value)
+        return None
+
+    def _project_call(self, node: ast.Call, name: str):
+        args = [self.eval(a) for a in node.args]
+        for kw in node.keywords:
+            if kw.arg != "out":
+                self.eval(kw.value)
+        if name in _PASSTHROUGH_FRESH:
+            out_kw = next(
+                (kw.value for kw in node.keywords if kw.arg == "out"), None
+            )
+            if out_kw is not None:
+                first = args[0] if args else None
+                dtype = first.dtype if isinstance(first, ArrayValue) else None
+                return self._handle_out(node, out_kw, dtype)
+            if args and isinstance(args[0], ArrayValue):
+                return ArrayValue(
+                    args[0].shape, args[0].dtype,
+                    frozenset({self.engine.fresh_token(name)}),
+                )
+            return ArrayValue()
+        if self.module is None:
+            return None
+        finfo = self.engine.index.resolve_function(self.module, name)
+        if finfo is None:
+            cls = self.engine.index.resolve_class(name)
+            if cls is not None or self.module.imports.get(name, "").endswith(name):
+                if cls is not None:
+                    return Instance(cls.name)
+            return None
+        summary, _ = self.engine.run_function(finfo)
+        return self._resolve_summary(summary.returns, finfo, args)
+
+    def _instance_method(self, node: ast.Call, base: Instance, func: ast.Attribute):
+        args = [self.eval(a) for a in node.args]
+        for kw in node.keywords:
+            self.eval(kw.value)
+        full = dotted_name(func) or ""
+        method_path = full.split(".", 1)[1] if "." in full else func.attr
+        if base.class_name == "BeliefGraph" and method_path in GRAPH_METHODS:
+            contract = GRAPH_METHODS[method_path]
+            return ArrayValue(
+                contract.shape, contract.dtype,
+                frozenset({self.engine.fresh_token(method_path)}),
+                contract.index_space,
+            )
+        finfo = self.engine.index.resolve_method(base.class_name, func.attr)
+        if finfo is None:
+            return None
+        summary, _ = self.engine.run_function(finfo)
+        return self._resolve_summary(summary.returns, finfo, [base] + args)
+
+    def _resolve_summary(self, returns, finfo: FunctionInfo, args: list):
+        """Substitute ``<param:...>`` placeholder aliases with the actual
+        argument alias sets."""
+        if returns is None:
+            return None
+        if isinstance(returns, tuple):
+            return tuple(self._resolve_summary(r, finfo, args) for r in returns)
+        if not isinstance(returns, ArrayValue) or not returns.aliases:
+            return returns
+        # placeholder index i counts the callee's params in order; call
+        # sites pass [self] + args for methods, so positions line up
+        prefix = f"<param:{finfo.qualname}:"
+        resolved: set[str] = set()
+        for token in returns.aliases:
+            if token.startswith(prefix):
+                i = int(token[len(prefix):-1])
+                if 0 <= i < len(args) and isinstance(args[i], ArrayValue):
+                    resolved |= args[i].aliases
+            else:
+                resolved.add(token)
+        return ArrayValue(
+            returns.shape, returns.dtype, frozenset(resolved), returns.index_space
+        )
+
+    # -- the numpy model -------------------------------------------------
+    def _numpy_call(self, node: ast.Call, name: str):
+        name = name.split(".")[-1]
+        args = [self.eval(a) for a in node.args]
+        kwargs = {kw.arg: self.eval(kw.value) for kw in node.keywords if kw.arg}
+        out_kw = next((kw.value for kw in node.keywords if kw.arg == "out"), None)
+        dtype_kw = kwargs.get("dtype")
+        dtype = dtype_kw.name if isinstance(dtype_kw, DtypeValue) else None
+
+        def fresh(shape, dt, space=None):
+            return ArrayValue(
+                shape, dt, frozenset({self.engine.fresh_token(name)}), space
+            )
+
+        if name in _ALLOC_FUNCS:
+            shape = self._shape_from_arg(node.args[0] if node.args else None)
+            if dtype is None:
+                if name == "full" and len(args) > 1:
+                    fill = args[1]
+                    dtype = (
+                        fill.dtype if isinstance(fill, ScalarValue) and fill.dtype
+                        else "float64"
+                    )
+                else:
+                    dtype = "float64"
+            return fresh(shape, dtype)
+        if name in ("zeros_like", "empty_like", "ones_like", "full_like"):
+            like = args[0] if args else None
+            if isinstance(like, ArrayValue):
+                return fresh(like.shape, dtype or like.dtype)
+            return fresh(None, dtype)
+        if name == "arange":
+            space = None
+            shape = ("?",)
+            if len(node.args) == 1 and isinstance(args[0], ScalarValue):
+                if args[0].axis is not None:
+                    shape = (args[0].axis,)
+                    space = args[0].axis
+            return fresh(shape, dtype or "int64", space)
+        if name in ("asarray", "ascontiguousarray", "asfortranarray"):
+            arg = args[0] if args else None
+            if isinstance(arg, ArrayValue):
+                # may return the argument itself: aliases are preserved
+                return ArrayValue(
+                    arg.shape, dtype or arg.dtype, arg.aliases, arg.index_space
+                )
+            return ArrayValue(None, dtype)
+        if name == "array":
+            arg = args[0] if args else None
+            if isinstance(arg, ArrayValue):
+                return fresh(arg.shape, dtype or arg.dtype, arg.index_space)
+            return fresh(None, dtype)
+        if name == "take":
+            base, idx = (args + [None, None])[:2]
+            if isinstance(base, ArrayValue) and isinstance(idx, ArrayValue):
+                self._check_gather_pair(node, base, idx)
+                first = idx.shape[0] if idx.shape else UNKNOWN
+                rest = base.shape[1:] if base.shape else ()
+                shape = (first,) + tuple(rest) if base.shape is not None else None
+                if out_kw is not None:
+                    return self._handle_out(node, out_kw, base.dtype)
+                return fresh(shape, base.dtype, base.index_space)
+            return None
+        if name == "bincount":
+            x = args[0] if args else None
+            weights = kwargs.get("weights")
+            minlength = kwargs.get("minlength")
+            out_axis = UNKNOWN
+            if isinstance(minlength, ScalarValue) and minlength.axis:
+                out_axis = minlength.axis
+                if (
+                    isinstance(x, ArrayValue)
+                    and x.index_space is not None
+                    and not _axes_ok(x.index_space, minlength.axis)
+                ):
+                    self.diag(
+                        "gather-mismatch", node,
+                        f"bincount over {x.index_space!r} ids scattered into "
+                        f"a {minlength.axis!r}-length accumulator",
+                    )
+            elif isinstance(x, ArrayValue) and x.index_space:
+                out_axis = x.index_space
+            if (
+                isinstance(weights, ArrayValue)
+                and isinstance(x, ArrayValue)
+                and weights.shape and x.shape
+                and not _axes_ok(weights.shape[0], x.shape[0])
+            ):
+                self.diag(
+                    "shape-mismatch", node,
+                    f"bincount weights span axis {weights.shape[0]!r} but the "
+                    f"ids span {x.shape[0]!r}",
+                )
+            return fresh(
+                (out_axis,), "float64" if weights is not None else "int64"
+            )
+        if name == "flatnonzero":
+            arg = args[0] if args else None
+            space = None
+            if isinstance(arg, ArrayValue) and arg.shape:
+                space = arg.shape[0]
+            return fresh(("?",), "int64", space)
+        if name == "repeat":
+            arg = args[0] if args else None
+            space = arg.index_space if isinstance(arg, ArrayValue) else None
+            return fresh(("?",), arg.dtype if isinstance(arg, ArrayValue) else None,
+                         space)
+        if name == "cumsum":
+            arg = args[0] if args else None
+            if out_kw is not None:
+                return self._handle_out(
+                    node, out_kw,
+                    arg.dtype if isinstance(arg, ArrayValue) else None,
+                )
+            if isinstance(arg, ArrayValue):
+                return fresh(arg.shape if kwargs.get("axis") else ("?",), arg.dtype)
+            return None
+        if name == "diff":
+            return fresh(("?",), args[0].dtype if isinstance(args[0], ArrayValue) else None) if args else None
+        if name in ("argsort", "argmax", "argmin"):
+            arg = args[0] if args else None
+            if isinstance(arg, ArrayValue) and name == "argsort":
+                return fresh(arg.shape, "int64",
+                             arg.shape[0] if arg.shape else None)
+            return fresh(None, "int64")
+        if name in ("sort", "unique", "concatenate", "hstack", "vstack", "stack"):
+            return fresh(None, None)
+        if name == "where":
+            vals = [a for a in args if isinstance(a, ArrayValue)]
+            shape = vals[0].shape if vals else None
+            dt = None
+            if len(vals) >= 3:
+                dt = promote_dtype(vals[1].dtype, vals[2].dtype)
+            return fresh(shape, dt)
+        if name in ("einsum",):
+            return self._einsum(node, args)
+        if name in ("dot", "matmul"):
+            if len(args) >= 2:
+                return self._matmul(node, args[0], args[1])
+            return None
+        if name in _ELEMWISE_BINARY:
+            a, b = (args + [None, None])[:2]
+            shape, dt = None, None
+            if isinstance(a, ArrayValue) and isinstance(b, ArrayValue):
+                if a.shape is not None and b.shape is not None:
+                    shape, conflict = broadcast_shapes(a.shape, b.shape)
+                    if conflict:
+                        self.diag(
+                            "shape-mismatch", node,
+                            f"np.{name} aligns axis {conflict[0]!r} with "
+                            f"{conflict[1]!r}",
+                        )
+                dt = promote_dtype(a.dtype, b.dtype)
+                if name in ("divide", "true_divide") and dt in ("int64", "bool"):
+                    dt = "float64"
+            elif isinstance(a, ArrayValue) or isinstance(b, ArrayValue):
+                arr = a if isinstance(a, ArrayValue) else b
+                other = b if arr is a else a
+                shape = arr.shape
+                dt = arr.dtype
+                if isinstance(other, ScalarValue) and other.dtype:
+                    dt = promote_dtype(arr.dtype, other.dtype)
+            if out_kw is not None:
+                return self._handle_out(node, out_kw, dt)
+            return fresh(shape, dt)
+        if name in _ELEMWISE_UNARY:
+            arg = args[0] if args else None
+            dt = dtype
+            if dt is None and isinstance(arg, ArrayValue):
+                dt = arg.dtype
+                if name in ("exp", "log", "log2", "sqrt") and dt in ("int64", "bool"):
+                    dt = "float64"
+            if out_kw is not None:
+                return self._handle_out(node, out_kw, dt)
+            if isinstance(arg, ArrayValue):
+                return fresh(arg.shape, dt)
+            return None
+        if name in ("sum", "max", "min", "mean", "prod", "nanmax", "nansum"):
+            arg = args[0] if args else None
+            if isinstance(arg, ArrayValue):
+                return self._reduce(node, arg, kwargs)
+            return ScalarValue(None, None)
+        if name in ("isfinite", "isnan", "isinf", "logical_and", "logical_or",
+                    "logical_not", "greater", "less", "equal", "not_equal"):
+            arg = args[0] if args else None
+            if isinstance(arg, ArrayValue):
+                return fresh(arg.shape, "bool")
+            return None
+        if name == "clip":
+            arg = args[0] if args else None
+            if out_kw is not None:
+                return self._handle_out(
+                    node, out_kw,
+                    arg.dtype if isinstance(arg, ArrayValue) else None,
+                )
+            if isinstance(arg, ArrayValue):
+                return fresh(arg.shape, arg.dtype)
+            return None
+        if name in ("float32", "float64", "int64", "bool_"):
+            return ScalarValue(None, name.rstrip("_"))
+        if name in ("shares_memory", "may_share_memory", "array_equal", "allclose"):
+            return ScalarValue(None, "bool")
+        if name == "finfo" or name == "iinfo":
+            return None
+        return None
+
+    def _reduce(self, node, arr: ArrayValue, kwargs: dict):
+        kw_nodes = {kw.arg: kw.value for kw in node.keywords if kw.arg}
+        axis = kw_nodes.get("axis")
+        if axis is None and len(node.args) > 1:
+            axis = node.args[1]
+        return self._method_reduce(arr, axis, kw_nodes.get("keepdims"))
+
+    # -- array methods ---------------------------------------------------
+    def _array_method(self, node: ast.Call, base: ArrayValue, method: str):
+        args = [self.eval(a) for a in node.args]
+        kw_nodes = {kw.arg: kw.value for kw in node.keywords if kw.arg}
+        for v in kw_nodes.values():
+            self.eval(v)
+        if method in ("sum", "max", "min", "mean", "prod", "std", "var"):
+            axis = kw_nodes.get("axis")
+            if axis is None and node.args:
+                axis = node.args[0]
+            keepdims = kw_nodes.get("keepdims")
+            return self._method_reduce(base, axis, keepdims)
+        if method == "copy":
+            return ArrayValue(
+                base.shape, base.dtype,
+                frozenset({self.engine.fresh_token("copy")}), base.index_space,
+            )
+        if method == "astype":
+            dt = None
+            target = node.args[0] if node.args else kw_nodes.get("dtype")
+            if target is not None:
+                val = self.eval(target)
+                if isinstance(val, DtypeValue):
+                    dt = val.name
+                elif isinstance(target, ast.Constant) and isinstance(target.value, str):
+                    dt = target.value
+            return ArrayValue(
+                base.shape, dt,
+                frozenset({self.engine.fresh_token("astype")}), base.index_space,
+            )
+        if method in ("reshape", "ravel", "view"):
+            return ArrayValue(
+                ("?",) if method == "ravel" else None,
+                base.dtype, base.aliases, base.index_space,
+            )
+        if method == "flatten":
+            return ArrayValue(("?",), base.dtype,
+                              frozenset({self.engine.fresh_token("flatten")}),
+                              base.index_space)
+        if method in ("transpose",):
+            shape = tuple(reversed(base.shape)) if base.shape else None
+            return ArrayValue(shape, base.dtype, base.aliases)
+        if method in ("any", "all"):
+            return ScalarValue(None, "bool")
+        if method in ("item",):
+            return ScalarValue(None, base.dtype)
+        if method in ("nonzero",):
+            space = base.shape[0] if base.shape else None
+            return (ArrayValue(("?",), "int64",
+                               frozenset({self.engine.fresh_token("nonzero")}),
+                               space),)
+        if method in ("argsort",):
+            return ArrayValue(base.shape, "int64",
+                              frozenset({self.engine.fresh_token("argsort")}),
+                              base.shape[0] if base.shape else None)
+        if method in ("fill", "sort", "tolist", "tobytes"):
+            return None
+        return None
+
+    def _method_reduce(self, base: ArrayValue, axis_node, keepdims_node):
+        keep = (
+            isinstance(keepdims_node, ast.Constant) and keepdims_node.value is True
+        )
+        if axis_node is None:
+            return ScalarValue(None, base.dtype)
+        if base.shape is None:
+            return ArrayValue(None, base.dtype,
+                              frozenset({self.engine.fresh_token("reduce")}))
+        axis = (
+            axis_node.value
+            if isinstance(axis_node, ast.Constant) and isinstance(axis_node.value, int)
+            else None
+        )
+        if axis is None:
+            return ArrayValue(None, base.dtype,
+                              frozenset({self.engine.fresh_token("reduce")}))
+        shape = list(base.shape)
+        if -len(shape) <= axis < len(shape):
+            if keep:
+                shape[axis] = "1"
+            else:
+                del shape[axis]
+        return ArrayValue(tuple(shape), base.dtype,
+                          frozenset({self.engine.fresh_token("reduce")}))
+
+    # -- out= handling and the WAR check --------------------------------
+    def _handle_out(self, call: ast.Call, out_expr: ast.expr, result_dtype):
+        """Model a write through ``out=``: dtype-downcast check, then the
+        write-after-read hazard scan against every live alias."""
+        if isinstance(out_expr, ast.Subscript):
+            target = self.eval_target_load(out_expr.value)
+            self.eval(out_expr.slice)
+            target_bases = {dotted_name(out_expr.value)}
+            sliced = True
+        else:
+            target = self._eval_chain(out_expr)
+            target_bases = {dotted_name(out_expr)}
+            sliced = False
+        target_bases.discard(None)
+        if not isinstance(target, ArrayValue):
+            return None
+        if target.dtype == "float32" and result_dtype == "float64":
+            self.diag(
+                "dtype-downcast", call,
+                "out= silently downcasts a float64 result into a float32 "
+                "buffer; cast the operands or drop the out=",
+            )
+        self._check_war(call, target, target_bases)
+        shape = target.shape if not sliced else None
+        return ArrayValue(shape, target.dtype, target.aliases, target.index_space)
+
+    def _check_war(self, call: ast.AST, target: ArrayValue,
+                   target_bases: set) -> None:
+        if self._occ is None or self._cur_stmt is None or not target.aliases:
+            return
+        tracked = set(self.env)
+        tracked.update(n for _, n, _ in self._occ.events)
+        for name in sorted(tracked):
+            if name in target_bases or any(
+                name.startswith(b + ".") or b.startswith(name + ".")
+                for b in target_bases
+            ):
+                continue
+            value = self._value_of_dotted(name)
+            if not isinstance(value, ArrayValue) or not (
+                value.aliases & target.aliases
+            ):
+                continue
+            if self._occ.live_after(self._cur_stmt, name):
+                self.diag(
+                    "war-hazard", call,
+                    f"out= overwrites a buffer still aliased by {name!r}, "
+                    "which is read again afterwards; the reader sees the "
+                    "clobbered values",
+                )
+
+    def _value_of_dotted(self, name: str):
+        if name in self.env:
+            return self.env[name]
+        if "." not in name:
+            return None
+        parts = name.split(".")
+        value = self.env.get(parts[0])
+        for attr in parts[1:]:
+            if isinstance(value, Instance):
+                value = self._attr_of(value, attr, ast.Name(id="_"))
+            else:
+                return None
+        return value
+
+    # -- misc helpers ----------------------------------------------------
+    def _shape_from_arg(self, arg: ast.expr | None):
+        if arg is None:
+            return None
+        value = self.eval(arg)
+        if isinstance(value, ScalarValue):
+            return (value.axis or UNKNOWN,)
+        if isinstance(value, tuple):
+            out = []
+            for v in value:
+                if isinstance(v, ScalarValue) and v.axis:
+                    out.append(v.axis)
+                elif (
+                    isinstance(arg, ast.Tuple)
+                    and len(arg.elts) == len(value)
+                    and isinstance(arg.elts[len(out)], ast.Constant)
+                    and isinstance(arg.elts[len(out)].value, int)
+                ):
+                    out.append(str(arg.elts[len(out)].value))
+                else:
+                    out.append(UNKNOWN)
+            return tuple(out)
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, int):
+            return (str(arg.value),)
+        return None
+
+    def _einsum(self, node: ast.Call, args: list):
+        spec = None
+        if node.args and isinstance(node.args[0], ast.Constant):
+            spec = node.args[0].value
+        operands = [a for a in args[1:] if isinstance(a, ArrayValue)]
+        dt = None
+        for op in operands:
+            dt = op.dtype if dt is None else promote_dtype(dt, op.dtype)
+        if not isinstance(spec, str) or "->" not in spec:
+            return ArrayValue(None, dt,
+                              frozenset({self.engine.fresh_token("einsum")}))
+        inputs, output = spec.replace(" ", "").split("->")
+        binding: dict[str, str] = {}
+        for letters, op in zip(inputs.split(","), operands):
+            if op.shape is None or len(op.shape) != len(letters):
+                continue
+            for letter, axis in zip(letters, op.shape):
+                prev = binding.get(letter)
+                if prev is None or prev == UNKNOWN:
+                    binding[letter] = axis
+                elif axis != UNKNOWN and not _axes_ok(prev, axis):
+                    self.diag(
+                        "shape-mismatch", node,
+                        f"einsum index {letter!r} binds axis {prev!r} and "
+                        f"{axis!r} simultaneously",
+                    )
+        shape = tuple(binding.get(letter, UNKNOWN) for letter in output)
+        return ArrayValue(shape, dt,
+                          frozenset({self.engine.fresh_token("einsum")}))
+
+
+def _chain_node(node: ast.expr) -> ast.expr:
+    return node.value if isinstance(node, ast.Attribute) else node
+
+
+def _axes_ok(a: str, b: str) -> bool:
+    return axes_broadcastable(a, b)

@@ -1,0 +1,231 @@
+"""Project-wide symbol table and call graph.
+
+The per-module rules of PR 4 see one file at a time.  The dataflow pass
+needs to answer cross-module questions — "what does
+``state.propagate_messages`` return?", "which class does this ``self``
+belong to?" — so :class:`ProjectIndex` parses every analyzed module
+once, indexes classes/functions/methods by both bare and qualified
+name, records import aliases, and resolves call expressions to their
+definitions.
+
+Core runtime modules (``repro.core.state``, ``repro.core.graph``,
+``repro.core.numeric``) are force-loaded even when the analyzed path
+set does not include them (e.g. a fixture-only run), because the
+contract derivation in :mod:`~repro.analysis.dataflow.engine` needs
+``LoopyState.__init__`` to exist.  Loading degrades silently when the
+package is not importable (detached checkout).
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["FunctionInfo", "ClassInfo", "ModuleInfo", "ProjectIndex"]
+
+#: modules whose classes anchor the contract derivation
+CORE_MODULES = ("repro.core.graph", "repro.core.numeric", "repro.core.state")
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str  # "module.path:Class.method" or "module.path:func"
+    node: ast.FunctionDef
+    module: "ModuleInfo"
+    cls: "ClassInfo | None" = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its methods and base-class names."""
+
+    name: str
+    node: ast.ClassDef
+    module: "ModuleInfo"
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    bases: tuple[str, ...] = ()
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    path: Path
+    name: str  # dotted module name when under src/, else the stem
+    tree: ast.Module
+    source: str
+    #: local name → dotted target ("np" → "numpy", "LoopyState" →
+    #: "repro.core.state.LoopyState")
+    imports: dict[str, str] = field(default_factory=dict)
+
+
+def _module_name(path: Path) -> str:
+    parts = list(path.with_suffix("").parts)
+    for anchor in ("src", "repro"):
+        if anchor in parts:
+            idx = parts.index(anchor)
+            parts = parts[idx + 1 :] if anchor == "src" else parts[idx:]
+            break
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or path.stem
+
+
+def _collect_imports(tree: ast.Module) -> dict[str, str]:
+    out: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                out[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                out[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return out
+
+
+class ProjectIndex:
+    """Symbol table + call graph over a set of parsed modules."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}  # bare name → info
+        self.functions: dict[str, FunctionInfo] = {}  # qualified name
+        self._bare_functions: dict[str, FunctionInfo] = {}
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def build(cls, sources: list[tuple[Path, str, ast.Module]]) -> "ProjectIndex":
+        """Index pre-parsed modules, then force-load missing core modules."""
+        index = cls()
+        for path, source, tree in sources:
+            index.add_module(path, source, tree)
+        index._ensure_core_modules()
+        return index
+
+    def add_module(self, path: Path, source: str, tree: ast.Module) -> ModuleInfo:
+        name = _module_name(Path(path))
+        info = ModuleInfo(
+            path=Path(path), name=name, tree=tree, source=source,
+            imports=_collect_imports(tree),
+        )
+        self.modules[name] = info
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if isinstance(node, ast.FunctionDef):
+                    self._add_function(info, node, None)
+            elif isinstance(node, ast.ClassDef):
+                self._add_class(info, node)
+        return info
+
+    def _add_class(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        bases = tuple(
+            b.id if isinstance(b, ast.Name) else ast.unparse(b) for b in node.bases
+        )
+        cinfo = ClassInfo(name=node.name, node=node, module=module, bases=bases)
+        for item in node.body:
+            if isinstance(item, ast.FunctionDef):
+                finfo = FunctionInfo(
+                    qualname=f"{module.name}:{node.name}.{item.name}",
+                    node=item, module=module, cls=cinfo,
+                )
+                cinfo.methods[item.name] = finfo
+                self.functions[finfo.qualname] = finfo
+        # first definition wins (bare-name collisions are rare and the
+        # contract classes are unique in the tree)
+        self.classes.setdefault(node.name, cinfo)
+
+    def _add_function(
+        self, module: ModuleInfo, node: ast.FunctionDef, cls: ClassInfo | None
+    ) -> None:
+        finfo = FunctionInfo(
+            qualname=f"{module.name}:{node.name}", node=node, module=module, cls=cls
+        )
+        self.functions[finfo.qualname] = finfo
+        self._bare_functions.setdefault(node.name, finfo)
+
+    def _ensure_core_modules(self) -> None:
+        for dotted in CORE_MODULES:
+            if dotted in self.modules:
+                continue
+            try:
+                spec = importlib.util.find_spec(dotted)
+            except (ImportError, ValueError):
+                spec = None
+            if spec is None or not spec.origin:
+                continue
+            path = Path(spec.origin)
+            try:
+                source = path.read_text(encoding="utf-8")
+                tree = ast.parse(source)
+            except (OSError, SyntaxError):
+                continue
+            self.add_module(path, source, tree)
+
+    # -- resolution -----------------------------------------------------
+    def resolve_class(self, name: str) -> ClassInfo | None:
+        return self.classes.get(name)
+
+    def resolve_function(
+        self, module: ModuleInfo, name: str
+    ) -> FunctionInfo | None:
+        """Resolve a bare call ``name(...)`` from inside ``module``."""
+        local = self.functions.get(f"{module.name}:{name}")
+        if local is not None:
+            return local
+        target = module.imports.get(name)
+        if target is not None:
+            mod, _, func = target.rpartition(".")
+            resolved = self.functions.get(f"{mod}:{func}")
+            if resolved is not None:
+                return resolved
+        return self._bare_functions.get(name)
+
+    def resolve_method(self, class_name: str, method: str) -> FunctionInfo | None:
+        """Resolve ``Class.method``, walking base classes by bare name."""
+        seen: set[str] = set()
+        queue = [class_name]
+        while queue:
+            cname = queue.pop(0)
+            if cname in seen:
+                continue
+            seen.add(cname)
+            cinfo = self.classes.get(cname)
+            if cinfo is None:
+                continue
+            if method in cinfo.methods:
+                return cinfo.methods[method]
+            queue.extend(cinfo.bases)
+        return None
+
+    # -- call graph -----------------------------------------------------
+    def call_graph(self) -> dict[str, set[str]]:
+        """Qualified-name → set of qualified callee names (best-effort:
+        bare calls and ``self.method`` calls; external calls dropped)."""
+        edges: dict[str, set[str]] = {}
+        for qualname, finfo in self.functions.items():
+            callees: set[str] = set()
+            for node in ast.walk(finfo.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = None
+                if isinstance(node.func, ast.Name):
+                    target = self.resolve_function(finfo.module, node.func.id)
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "self"
+                    and finfo.cls is not None
+                ):
+                    target = self.resolve_method(finfo.cls.name, node.func.attr)
+                if target is not None and target.qualname != qualname:
+                    callees.add(target.qualname)
+            edges[qualname] = callees
+        return edges

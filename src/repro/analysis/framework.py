@@ -33,6 +33,7 @@ from typing import Iterable, Iterator
 __all__ = [
     "Finding",
     "Rule",
+    "ProjectRule",
     "Module",
     "Analyzer",
     "AnalysisResult",
@@ -40,6 +41,7 @@ __all__ = [
     "all_rules",
     "load_baseline",
     "write_baseline",
+    "update_baseline",
     "apply_baseline",
     "render_text",
     "render_json",
@@ -50,8 +52,11 @@ _NOQA_RE = re.compile(
     re.IGNORECASE,
 )
 
-#: directories never descended into when collecting files
-SKIP_DIRS = {".git", "__pycache__", ".venv", "venv", "build", "dist", ".eggs"}
+#: directories never descended into when collecting files ("fixtures"
+#: keeps the planted lint fixtures out of real scans of tests/)
+SKIP_DIRS = {
+    ".git", "__pycache__", ".venv", "venv", "build", "dist", ".eggs", "fixtures",
+}
 
 
 @dataclass(frozen=True)
@@ -121,6 +126,22 @@ class Rule:
             message=message,
             snippet=snippet,
         )
+
+
+class ProjectRule(Rule):
+    """A rule that needs the *whole* analyzed module set at once.
+
+    Per-module :meth:`Rule.check` is a no-op; the analyzer calls
+    :meth:`check_project` once after every file has been parsed.  The
+    RPR4xx dataflow rules are project rules: their facts (axis
+    contracts, alias sets, call summaries) span module boundaries.
+    """
+
+    def check(self, module: "Module") -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, modules: list["Module"]) -> Iterator[Finding]:
+        raise NotImplementedError
 
 
 _REGISTRY: dict[str, type[Rule]] = {}
@@ -255,18 +276,32 @@ class Analyzer:
         errors: list[str] = []
         suppressed = 0
         files = self.collect(paths)
+        modules: list[Module] = []
         for path in files:
             try:
                 module = Module(path, root=self.root)
             except (SyntaxError, OSError) as exc:
                 errors.append(f"{path}: {exc}")
                 continue
+            modules.append(module)
             for rule in self.rules:
+                if isinstance(rule, ProjectRule):
+                    continue
                 for finding in rule.check(module):
                     if module.suppressed(finding):
                         suppressed += 1
                     else:
                         findings.append(finding)
+        by_path = {m.rel_path: m for m in modules}
+        for rule in self.rules:
+            if not isinstance(rule, ProjectRule):
+                continue
+            for finding in rule.check_project(modules):
+                module = by_path.get(finding.path)
+                if module is not None and module.suppressed(finding):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         return AnalysisResult(
             findings=findings,
@@ -302,6 +337,55 @@ def write_baseline(
         + "\n",
         encoding="utf-8",
     )
+
+
+def update_baseline(
+    findings: Iterable[Finding],
+    path: str | Path,
+    reason: str = "pre-existing at baseline update",
+) -> tuple[int, int]:
+    """Regenerate a baseline file in place from the current findings.
+
+    Unlike :func:`write_baseline` this preserves the human ``reason``
+    fields of the old file: an entry whose ``(rule, path)`` pair already
+    appears in the old baseline keeps that entry's reason even when the
+    fingerprint changed (the usual case after a refactor shifts the
+    offending line's text).  Returns ``(kept, dropped)`` — entries
+    carried over vs. stale entries removed.
+    """
+    target = Path(path)
+    old: dict[str, dict] = {}
+    if target.exists():
+        old = load_baseline(target)
+    reasons_by_key = {
+        (entry.get("rule"), entry.get("path")): entry.get("reason")
+        for entry in old.values()
+        if entry.get("reason")
+    }
+    entries: dict[str, dict] = {}
+    for f in findings:
+        entry = entries.setdefault(
+            f.fingerprint,
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "count": 0,
+                "reason": (
+                    old.get(f.fingerprint, {}).get("reason")
+                    or reasons_by_key.get((f.rule, f.path))
+                    or reason
+                ),
+            },
+        )
+        entry["count"] += 1
+    kept = sum(1 for fp in entries if fp in old)
+    dropped = sum(1 for fp in old if fp not in entries)
+    target.write_text(
+        json.dumps({"version": 1, "findings": entries}, indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+    return kept, dropped
 
 
 def apply_baseline(

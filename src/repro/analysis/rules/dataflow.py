@@ -1,0 +1,101 @@
+"""RPR4xx: whole-program array dataflow rules.
+
+These are :class:`~repro.analysis.framework.ProjectRule`\\ s — they see
+every analyzed module at once, build one
+:class:`~repro.analysis.dataflow.DataflowProject` (symbol table, axis
+contracts, abstract interpretation) per module set, and translate the
+engine's diagnostics into findings:
+
+RPR401  shape/axis mismatch: binary ops, ``np.take``/fancy gathers and
+        ``np.bincount`` scatters that align two distinct project
+        dimensions (``n_nodes`` vs ``n_edges`` vs ``n_states``).
+RPR402  dtype drift: float64 results silently narrowed into float32
+        belief buffers via ``out=``, element stores or ``+=``.
+RPR403  write-after-read hazard: an ``out=`` write clobbers a buffer
+        another live name still reads afterwards.
+RPR404  scratch escape: a plan-time scratch buffer (allocated once,
+        reused by every sweep) returned from a public method or stored
+        on a foreign object.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.dataflow import DataflowProject
+from repro.analysis.framework import Finding, Module, ProjectRule, register
+
+#: engine diagnostic kind → rule id owning it
+_KIND_TO_RULE = {
+    "shape-mismatch": "RPR401",
+    "gather-mismatch": "RPR401",
+    "dtype-downcast": "RPR402",
+    "war-hazard": "RPR403",
+    "scratch-escape": "RPR404",
+}
+
+#: one shared project per module set (all four rules run over the same
+#: files in one analyzer pass; building the engine four times would
+#: quadruple the cost for identical answers)
+_PROJECT_CACHE: dict[tuple, DataflowProject] = {}
+
+
+def _project_for(modules: list[Module]) -> DataflowProject:
+    key = tuple(sorted((m.rel_path, hash(m.source)) for m in modules))
+    project = _PROJECT_CACHE.get(key)
+    if project is None:
+        _PROJECT_CACHE.clear()  # only ever one live module set per run
+        project = DataflowProject([(m.path, m.source, m.tree) for m in modules])
+        _PROJECT_CACHE[key] = project
+    return project
+
+
+class _DataflowRule(ProjectRule):
+    """Shared plumbing: filter the engine's diagnostics to this rule."""
+
+    def check_project(self, modules: list[Module]) -> Iterator[Finding]:
+        project = _project_for(modules)
+        for module in modules:
+            for diag in project.diagnostics_for(module.path):
+                if _KIND_TO_RULE.get(diag.kind) != self.id:
+                    continue
+                yield self.finding(module, diag.node, diag.message)
+
+
+@register
+class ShapeAxisMismatchRule(_DataflowRule):
+    id = "RPR401"
+    name = "shape-axis-mismatch"
+    description = (
+        "array operation aligns two distinct project dimensions "
+        "(n_nodes/n_edges/n_states) in a broadcast, gather or scatter"
+    )
+
+
+@register
+class DtypeDriftRule(_DataflowRule):
+    id = "RPR402"
+    name = "dtype-drift"
+    description = (
+        "float64 result silently downcast into a float32 belief buffer "
+        "(out=, element store, or in-place update)"
+    )
+
+
+@register
+class WriteAfterReadRule(_DataflowRule):
+    id = "RPR403"
+    name = "write-after-read"
+    description = (
+        "out= write clobbers a buffer a still-live alias reads afterwards"
+    )
+
+
+@register
+class ScratchEscapeRule(_DataflowRule):
+    id = "RPR404"
+    name = "scratch-escape"
+    description = (
+        "plan-time scratch buffer escapes its executor (returned from a "
+        "public method or stored on a foreign object)"
+    )

@@ -12,7 +12,6 @@ rules degrade to no-ops rather than crashing the analyzer.
 from __future__ import annotations
 
 import ast
-import re
 from typing import Iterator
 
 from repro.analysis.framework import Finding, Module, Rule, register
@@ -23,76 +22,68 @@ _REMOVED_MODULES = {
     "repro.core.workqueue": "repro.core.scheduler (WorkQueue)",
 }
 
-_QUALIFIER_RE = re.compile(
-    r"^(?P<base>[a-z][a-z0-9_-]*)"
-    r"(?::(?P<schedule>[a-z][a-z0-9_-]*))?"
-    r"(?:@(?P<shards>\d+)x(?P<method>[a-z][a-z0-9_-]*)"
-    r"(?:\+(?P<policy>[a-z][a-z0-9_-]*)(?:~(?P<staleness>\d+))?)?)?"
-    r"(?:!(?P<executor>[a-z][a-z0-9_-]*))?"
-    r"(?:%(?P<layout>[a-z][a-z0-9_-]*))?$"
-)
-
 
 def _registries():
-    """(BACKENDS, normalize_schedule, normalize_partitioner) or None."""
+    """(BACKENDS, normalize_schedule, normalize_partitioner, parse) or None."""
     try:
         from repro.backends.registry import BACKENDS
         from repro.core.scheduler import normalize_schedule
+        from repro.credo.runner import parse_qualified
         from repro.partition import normalize_partitioner
     except Exception:  # pragma: no cover - detached checkout
         return None
-    return BACKENDS, normalize_schedule, normalize_partitioner
+    return BACKENDS, normalize_schedule, normalize_partitioner, parse_qualified
 
 
 def validate_qualifier(spec: str) -> str | None:
     """Human-readable error for an unresolvable backend qualifier, else None.
 
-    Accepts the full grammar
+    The grammar
     ``<backend>[:<schedule>][@<K>x<METHOD>[+<POLICY>[~<STALENESS>]]]``
-    ``[!<EXECUTOR>][%<LAYOUT>]``
-    used by the registry and by :class:`repro.credo.runner.ExecutionPlan`.
+    ``[!<EXECUTOR>][%<LAYOUT>]`` is owned by
+    :func:`repro.credo.runner.parse_qualified` — the linter calls it in
+    strict mode instead of keeping a second copy of the regex, so the
+    checker can never drift from what the runner actually accepts.
     """
     registries = _registries()
     if registries is None:
         return None
-    backends, normalize_schedule, normalize_partitioner = registries
-    match = _QUALIFIER_RE.match(spec)
-    if match is None:
-        return (
-            f"{spec!r} does not match "
-            "<backend>[:<schedule>][@<K>x<METHOD>[+<POLICY>[~<STALENESS>]]]"
-        )
-    base = match.group("base")
+    backends, normalize_schedule, normalize_partitioner, parse_qualified = registries
+    try:
+        fields = parse_qualified(spec, strict=True)
+    except ValueError as exc:
+        return str(exc)
+    base = fields["backend"]
     if base not in backends:
         return f"unknown backend {base!r} (known: {', '.join(sorted(backends))})"
-    schedule = match.group("schedule")
+    schedule = fields.get("schedule")
     if schedule is not None:
         try:
             normalize_schedule(schedule)
         except (KeyError, ValueError) as exc:
             return f"bad schedule qualifier in {spec!r}: {exc}"
-    method = match.group("method")
+    method = fields.get("partitioner")
     if method is not None:
         try:
             normalize_partitioner(method)
         except (KeyError, ValueError) as exc:
             return f"bad partitioner in {spec!r}: {exc}"
-    policy = match.group("policy")
+    policy = fields.get("policy")
     if policy is not None:
         error = _validate_shard_policy(policy)
         if error is not None:
             return f"bad shard policy in {spec!r}: {error}"
-        staleness = match.group("staleness")
+        staleness = fields.get("staleness")
         if staleness is not None:
-            error = _validate_staleness(policy, int(staleness))
+            error = _validate_staleness(policy, staleness)
             if error is not None:
                 return f"bad staleness in {spec!r}: {error}"
-    executor = match.group("executor")
+    executor = fields.get("executor")
     if executor is not None:
         error = _validate_executor(executor)
         if error is not None:
             return f"bad executor in {spec!r}: {error}"
-    layout = match.group("layout")
+    layout = fields.get("layout")
     if layout is not None:
         error = _validate_layout(layout)
         if error is not None:
@@ -157,7 +148,7 @@ def _validate_schedule(name: str) -> str | None:
     registries = _registries()
     if registries is None:
         return None
-    _, normalize_schedule, _ = registries
+    _, normalize_schedule, _, _ = registries
     try:
         normalize_schedule(name)
     except (KeyError, ValueError) as exc:

@@ -1,0 +1,173 @@
+"""SARIF 2.1.0 export for the static checker.
+
+One ``run`` per invocation: the rule catalog goes into
+``tool.driver.rules`` and every finding becomes a ``result`` with a
+``physicalLocation`` and a ``partialFingerprints`` entry carrying the
+framework's stable baseline fingerprint — so GitHub code scanning
+deduplicates findings the same way the baseline file does.
+
+:func:`validate_sarif` is a self-contained structural check of the
+subset of the SARIF 2.1.0 schema we emit (the toolchain bakes in no
+JSON-schema validator, and CI must not depend on one).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.framework import AnalysisResult, Finding, Rule
+
+__all__ = ["render_sarif", "validate_sarif", "SARIF_VERSION", "SARIF_SCHEMA_URI"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule_descriptor(rule: Rule) -> dict:
+    return {
+        "id": rule.id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.description or rule.name},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(rule.severity, "warning")
+        },
+    }
+
+
+def _result(finding: Finding, rule_index: dict[str, int]) -> dict:
+    out = {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                        "snippet": {"text": finding.snippet},
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {"reproBaseline/v1": finding.fingerprint},
+    }
+    if finding.rule in rule_index:
+        out["ruleIndex"] = rule_index[finding.rule]
+    return out
+
+
+def render_sarif(result: AnalysisResult, rules: list[Rule]) -> str:
+    """The full SARIF 2.1.0 document for one analyzer run, as JSON."""
+    rule_index = {rule.id: i for i, rule in enumerate(rules)}
+    doc = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "informationUri": (
+                            "https://github.com/repro/repro#linting"
+                        ),
+                        "rules": [_rule_descriptor(r) for r in rules],
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"description": {"text": "repository root"}}
+                },
+                "results": [
+                    _result(f, rule_index) for f in result.findings
+                ],
+                "invocations": [
+                    {
+                        "executionSuccessful": True,
+                        "toolExecutionNotifications": [
+                            {"level": "error", "message": {"text": err}}
+                            for err in result.errors
+                        ],
+                    }
+                ],
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def validate_sarif(doc: dict | str) -> list[str]:
+    """Structural validation against the emitted SARIF 2.1.0 subset.
+
+    Returns a list of problems (empty = valid).
+    """
+    if isinstance(doc, str):
+        try:
+            doc = json.loads(doc)
+        except json.JSONDecodeError as exc:
+            return [f"not JSON: {exc}"]
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("version") != SARIF_VERSION:
+        problems.append(f"version must be {SARIF_VERSION!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return problems + ["runs must be a non-empty array"]
+    for ri, run in enumerate(runs):
+        where = f"runs[{ri}]"
+        driver = (run.get("tool") or {}).get("driver")
+        if not isinstance(driver, dict) or not driver.get("name"):
+            problems.append(f"{where}.tool.driver.name is required")
+            driver = {}
+        rules = driver.get("rules", [])
+        rule_ids = set()
+        for i, rule in enumerate(rules):
+            if not isinstance(rule, dict) or not rule.get("id"):
+                problems.append(f"{where}.tool.driver.rules[{i}].id is required")
+            else:
+                rule_ids.add(rule["id"])
+        results = run.get("results")
+        if not isinstance(results, list):
+            problems.append(f"{where}.results must be an array")
+            continue
+        for i, res in enumerate(results):
+            rwhere = f"{where}.results[{i}]"
+            if not isinstance(res, dict):
+                problems.append(f"{rwhere} is not an object")
+                continue
+            message = res.get("message")
+            if not isinstance(message, dict) or "text" not in message:
+                problems.append(f"{rwhere}.message.text is required")
+            if res.get("level") not in ("none", "note", "warning", "error"):
+                problems.append(f"{rwhere}.level is invalid")
+            rule_id = res.get("ruleId")
+            if rule_ids and rule_id not in rule_ids:
+                problems.append(f"{rwhere}.ruleId {rule_id!r} not in catalog")
+            idx = res.get("ruleIndex")
+            if idx is not None and not (
+                isinstance(idx, int) and 0 <= idx < len(rules)
+            ):
+                problems.append(f"{rwhere}.ruleIndex out of range")
+            for li, loc in enumerate(res.get("locations", [])):
+                phys = (loc or {}).get("physicalLocation", {})
+                art = phys.get("artifactLocation", {})
+                if not art.get("uri"):
+                    problems.append(
+                        f"{rwhere}.locations[{li}] artifactLocation.uri missing"
+                    )
+                region = phys.get("region", {})
+                start = region.get("startLine")
+                if not (isinstance(start, int) and start >= 1):
+                    problems.append(
+                        f"{rwhere}.locations[{li}] region.startLine must be >= 1"
+                    )
+    return problems

@@ -66,6 +66,14 @@ class LoopyConfig:
     ``batch_fraction``, ``relaxation`` and ``schedule_seed`` parameterize
     the priority schedules; the others ignore them.
 
+    ``verify_kernels`` additionally runs the buffer-op IR runtime check
+    (:func:`repro.kernels.ir.check_buffers`) against the compiled
+    executor's live buffers when the plan is built — shape, dtype and
+    alias structure must match the program the lowering declared.  The
+    static program verification always runs at lowering time; this flag
+    only adds the runtime cross-check (a no-op for the interpreted
+    executor, which lowers nothing).
+
     ``work_queue`` is a **deprecated** boolean shim: ``True`` maps to
     ``schedule="work_queue"``, ``False`` to ``schedule="sync"`` (with a
     :class:`DeprecationWarning`).  After normalization it is reset to
@@ -76,6 +84,7 @@ class LoopyConfig:
     update_rule: str = "sum_product"
     semiring: str = "sum"
     executor: str = "interpreted"
+    verify_kernels: bool = False
     criterion: ConvergenceCriterion = field(default_factory=ConvergenceCriterion)
     schedule: str = "work_queue"
     work_queue: bool | None = None
@@ -162,6 +171,14 @@ def _element_threshold_floor(n_states: int) -> float:
     return float(np.finfo(np.float32).eps) * max(n_states, 2)
 
 
+def _verify_executor_buffers(executor, state: LoopyState) -> None:
+    """Runtime kernel-IR check for executors that lower (duck-typed: the
+    interpreted executor declares no programs and is skipped)."""
+    verify = getattr(executor, "verify_buffers", None)
+    if verify is not None:
+        verify(state)
+
+
 @dataclass
 class _Step:
     """One sweep's outcome, as the driver and schedule see it."""
@@ -181,6 +198,8 @@ class _NodePlan:
         self.cfg = cfg
         self.n_elements = state.n
         self.executor = make_executor(cfg.executor, state, paradigm="node")
+        if cfg.verify_kernels:
+            _verify_executor_buffers(self.executor, state)
         # Per-element convergence threshold (§3.5): an element whose own
         # delta is below the global threshold drops out of the schedule.
         # This is the paper's semantics — "most nodes converge quickly
@@ -221,6 +240,8 @@ class _EdgePlan:
         self.executor = make_executor(
             cfg.executor, state, paradigm="edge", chunks=cfg.edge_chunks
         )
+        if cfg.verify_kernels:
+            _verify_executor_buffers(self.executor, state)
         # An edge is converged when its message moves less than the node
         # threshold split across the destination's in-edges: the combined
         # per-node perturbation of fully-pruned edges then stays within

@@ -73,6 +73,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="belief-store layout; 'auto' runs the plan-time layout "
              "autotuner (default: keep the graph's layout)",
     )
+    run.add_argument(
+        "--verify-kernels", action="store_true",
+        help="pre-flight the compiled executor's buffer-op IR on both "
+             "paradigms (static program check + runtime buffer cross-check) "
+             "before running; exits 1 on verification failure",
+    )
     run.add_argument("--top", type=int, default=10, help="print the first N posteriors")
     run.add_argument(
         "--train", action="store_true",
@@ -116,6 +122,9 @@ def _build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--verify-parity", action="store_true",
                       help="also run untraced and fail unless posteriors "
                            "are identical")
+    prof.add_argument("--verify-kernels", action="store_true",
+                      help="pre-flight the compiled executor's buffer-op IR "
+                           "on both paradigms before profiling")
 
     feats = sub.add_parser("features", help="print a graph's metadata features")
     feats.add_argument("path")
@@ -225,6 +234,31 @@ def _write_trace(tracer, path: str) -> None:
     )
 
 
+def _verify_kernels_preflight(graph) -> bool:
+    """Lower the compiled executor for both paradigms, verify the emitted
+    buffer-op IR statically and against the live buffers, and print each
+    program's op summary.  Returns False on any verification failure."""
+    from repro.core.state import LoopyState
+    from repro.kernels.compiled import CompiledExecutor
+    from repro.kernels.ir import KernelVerificationError
+
+    ok = True
+    for paradigm in ("node", "edge"):
+        state = LoopyState(graph)
+        try:
+            executor = CompiledExecutor(state, paradigm=paradigm)
+            executor.verify_buffers(state)
+        except KernelVerificationError as exc:
+            print(f"kernel verification FAILED [{paradigm}]: {exc}",
+                  file=sys.stderr)
+            ok = False
+            continue
+        for program in executor.programs.values():
+            print(program.describe(), file=sys.stderr)
+        print(f"kernel verification OK [{paradigm}]", file=sys.stderr)
+    return ok
+
+
 def _cmd_profile(args) -> int:
     from repro.core.convergence import ConvergenceCriterion
     from repro.credo.runner import Credo
@@ -239,6 +273,8 @@ def _cmd_profile(args) -> int:
         schedule=args.schedule,
     )
     graph = load_graph(args.path, args.edge_path)
+    if args.verify_kernels and not _verify_kernels_preflight(graph):
+        return 1
 
     baseline = None
     if args.verify_parity:
@@ -484,6 +520,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     if args.train:
         credo.train(profile="smoke", use_cases=("binary",))
+    if args.verify_kernels:
+        from repro.io.detect import load_graph
+
+        if not _verify_kernels_preflight(load_graph(args.path, args.edge_path)):
+            return 1
     if args.trace is not None:
         from repro.telemetry import Tracer, use_tracer
 

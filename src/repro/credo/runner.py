@@ -44,7 +44,7 @@ _QUALIFIED_RE = re.compile(
 )
 
 
-def parse_qualified(name: str) -> dict:
+def parse_qualified(name: str, *, strict: bool = False) -> dict:
     """Split a qualified backend spec into its plan fields.
 
     Returns a dict holding only the groups present in ``name``
@@ -52,10 +52,19 @@ def parse_qualified(name: str) -> dict:
     ``policy``/``staleness``/``executor``/``layout`` when spelled).
     Specs outside the grammar fall back to the historical
     ``"<name>:<qualifier>"`` split so unknown names still surface their
-    errors at the backend/schedule registries.
+    errors at the backend/schedule registries — unless ``strict`` is
+    set, in which case they raise :class:`ValueError` instead (this is
+    what the linter's config rules use to validate spellings without
+    duplicating the grammar).
     """
     match = _QUALIFIED_RE.match(name)
     if match is None:
+        if strict:
+            raise ValueError(
+                f"{name!r} does not match the qualified-spec grammar "
+                "<backend>[:<sched>][@Kx<METHOD>[+<POLICY>[~<K>]]]"
+                "[!<EXECUTOR>][%<LAYOUT>]"
+            )
         base, _, qualifier = name.partition(":")
         return {"backend": base, **({"schedule": qualifier} if qualifier else {})}
     spec = {k: v for k, v in match.groupdict().items() if v is not None}

@@ -28,6 +28,12 @@ and reused across sweeps:
     The plan-time layout autotuner: deterministic probe-sweep costing
     under a fixed measurement seed, recorded on
     :class:`repro.credo.runner.ExecutionPlan`.
+
+:mod:`repro.kernels.ir`
+    The buffer-op IR the compiled lowering emits — per-op read/write/
+    alias sets over named buffers — plus the plan-time verifier
+    (:func:`~repro.kernels.ir.verify_program`) and the optional runtime
+    cross-check (:func:`~repro.kernels.ir.check_buffers`).
 """
 
 from repro.kernels.autotune import LayoutDecision, autotune_layout
@@ -38,17 +44,31 @@ from repro.kernels.executor import (
     make_executor,
     normalize_executor,
 )
+from repro.kernels.ir import (
+    BufferOp,
+    BufferSpec,
+    KernelProgram,
+    KernelVerificationError,
+    check_buffers,
+    verify_program,
+)
 from repro.kernels.layout import LAYOUTS, normalize_layout, with_layout
 
 __all__ = [
+    "BufferOp",
+    "BufferSpec",
     "EXECUTORS",
+    "KernelProgram",
+    "KernelVerificationError",
     "LAYOUTS",
     "InterpretedExecutor",
     "LayoutDecision",
     "SweepExecutor",
     "autotune_layout",
+    "check_buffers",
     "make_executor",
     "normalize_executor",
     "normalize_layout",
+    "verify_program",
     "with_layout",
 ]

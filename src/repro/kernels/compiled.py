@@ -38,6 +38,14 @@ from repro.core.node_kernel import node_sweep
 from repro.core.state import TINY, LoopyState
 from repro.core.sweepstats import SweepStats
 from repro.kernels.executor import SweepExecutor
+from repro.kernels.ir import (
+    BufferOp,
+    BufferSpec,
+    KernelProgram,
+    KernelVerificationError,
+    check_buffers,
+    verify_program,
+)
 from repro.telemetry import get_metrics
 
 __all__ = ["CompiledExecutor"]
@@ -182,8 +190,218 @@ class CompiledExecutor(SweepExecutor):
                     touched[chunk.dirty] = True
             self._touched_full = np.flatnonzero(touched)
 
+        # -- buffer-op IR: describe the lowered program and verify it
+        #    statically before the first sweep runs --------------------------
+        self.programs = self._emit_programs(state)
+        for program in self.programs.values():
+            verify_program(program)
+
         self.build_seconds = time.perf_counter() - start
         get_metrics().histogram("kernel.build_s").record(self.build_seconds)
+
+    # ------------------------------------------------------------------
+    def _emit_programs(self, state: LoopyState) -> dict[str, KernelProgram]:
+        """The lowered sweep as buffer-op IR (see :mod:`repro.kernels.ir`).
+
+        One program per lowered paradigm, mirroring the exact op order of
+        the fast path below; :func:`~repro.kernels.ir.verify_program`
+        checks it at plan time and :meth:`verify_buffers` re-checks the
+        live arrays on demand.
+        """
+        pot_shape = ("b", "b") if state.shared_potential else ("m", "b", "b")
+        buffers = [
+            BufferSpec("beliefs", ("n", "b"), "float32", "state"),
+            BufferSpec("messages", ("m", "b"), "float32", "state"),
+            BufferSpec("log_messages", ("m", "b"), "float32", "state"),
+            BufferSpec("log_msg_sum", ("n", "b"), "float32", "state"),
+            BufferSpec("log_priors", ("n", "b"), "float32", "state"),
+            BufferSpec("potentials", pot_shape, "float32", "state"),
+            BufferSpec("src", ("m",), "int64", "state"),
+            BufferSpec("dst", ("m",), "int64", "state"),
+            BufferSpec("rev", ("m",), "int64", "state"),
+            BufferSpec("raw", ("m", "b"), "float32", "scratch"),
+            BufferSpec("log_new", ("m", "b"), "float32", "scratch"),
+            BufferSpec("log_delta", ("m", "b"), "float32", "scratch"),
+            BufferSpec("logits", ("n", "b"), "float32", "scratch"),
+            BufferSpec("logits2", ("n", "b"), "float32", "scratch"),
+            BufferSpec("source", ("m", "b"), "float32", "scratch"),
+            BufferSpec("back", ("m", "b"), "float32", "scratch"),
+            BufferSpec("edge_total", ("m",), "float32", "scratch"),
+            BufferSpec("node_total", ("n",), "float32", "scratch"),
+            BufferSpec("node_rowbuf", ("n",), "float32", "scratch"),
+        ]
+        message_ops = [
+            BufferOp("gather_source", reads=("beliefs", "src"), writes=("source",)),
+            BufferOp("gather_back", reads=("messages", "rev"), writes=("back",)),
+            BufferOp("clamp_back", reads=("back",), writes=("back",), inplace_ok=True),
+            BufferOp(
+                "cavity_divide",
+                reads=("source", "back"),
+                writes=("source",),
+                inplace_ok=True,
+            ),
+            BufferOp(
+                "normalize_cavity",
+                reads=("source",),
+                writes=("source", "edge_total"),
+                inplace_ok=True,
+            ),
+            BufferOp(
+                "apply_potential", reads=("source", "potentials"), writes=("raw",)
+            ),
+            BufferOp(
+                "normalize_messages",
+                reads=("raw",),
+                writes=("raw", "edge_total"),
+                inplace_ok=True,
+            ),
+            BufferOp(
+                "damp", reads=("raw", "messages"), writes=("raw",), inplace_ok=True
+            ),
+        ]
+        scatter_ops = [
+            BufferOp("log_messages_new", reads=("raw",), writes=("log_new",)),
+            BufferOp(
+                "log_delta", reads=("log_new", "log_messages"), writes=("log_delta",)
+            ),
+            BufferOp(
+                "scatter_accumulate",
+                reads=("log_delta", "dst", "log_msg_sum"),
+                writes=("log_msg_sum",),
+                inplace_ok=True,
+            ),
+            BufferOp("store_messages", reads=("raw",), writes=("messages",)),
+            BufferOp("store_log_messages", reads=("log_new",), writes=("log_messages",)),
+        ]
+        if self.paradigm == "node":
+            ops = (
+                *message_ops,
+                *scatter_ops,
+                BufferOp(
+                    "combine_logits",
+                    reads=("log_priors", "log_msg_sum"),
+                    writes=("logits",),
+                ),
+                BufferOp(
+                    "shift_rowmax",
+                    reads=("logits",),
+                    writes=("logits", "node_rowbuf"),
+                    inplace_ok=True,
+                ),
+                BufferOp(
+                    "exp_normalize",
+                    reads=("logits",),
+                    writes=("logits", "node_total"),
+                    inplace_ok=True,
+                ),
+                BufferOp("restore_observed", reads=("beliefs",), writes=("logits",)),
+                # old beliefs double as the diff scratch: elementwise, so
+                # reading beliefs while writing beliefs is declared in-place
+                BufferOp(
+                    "belief_delta",
+                    reads=("logits", "beliefs"),
+                    writes=("beliefs",),
+                    inplace_ok=True,
+                ),
+                BufferOp("reduce_delta", reads=("beliefs",), writes=("node_deltas",)),
+                BufferOp("writeback_beliefs", reads=("logits",), writes=("beliefs",)),
+            )
+            buffers.append(BufferSpec("node_deltas", ("n",), "float32", "local"))
+            program = KernelProgram(
+                name="node_full_sweep",
+                buffers=tuple(buffers),
+                ops=ops,
+                outputs=("beliefs", "messages", "log_messages", "log_msg_sum"),
+                meta={"paradigm": "node", "chunks": 1},
+            )
+            return {"node": program}
+        # edge paradigm: per-chunk message + scatter, residuals through the
+        # dead back-gather scratch, then the dirty-row combine
+        ops = (
+            *message_ops,
+            BufferOp(
+                "edge_residuals",
+                reads=("raw", "messages"),
+                writes=("back", "edge_deltas"),
+            ),
+            *scatter_ops,
+            BufferOp(
+                "gather_priors", reads=("log_priors", "dirty_nodes"), writes=("logits",)
+            ),
+            BufferOp(
+                "gather_msg_sum",
+                reads=("log_msg_sum", "dirty_nodes"),
+                writes=("logits2",),
+            ),
+            BufferOp(
+                "add_logits",
+                reads=("logits", "logits2"),
+                writes=("logits",),
+                inplace_ok=True,
+            ),
+            BufferOp(
+                "shift_rowmax",
+                reads=("logits",),
+                writes=("logits", "node_rowbuf"),
+                inplace_ok=True,
+            ),
+            BufferOp(
+                "exp_normalize",
+                reads=("logits",),
+                writes=("logits", "node_total"),
+                inplace_ok=True,
+            ),
+            BufferOp(
+                "scatter_beliefs", reads=("logits", "dirty_nodes"), writes=("beliefs",)
+            ),
+        )
+        buffers.append(BufferSpec("edge_deltas", ("m",), "float32", "local"))
+        # chunk dirty sets are lowered at plan time, so the program reads
+        # them like state: initialized before the first op runs
+        buffers.append(BufferSpec("dirty_nodes", ("?",), "int64", "state"))
+        program = KernelProgram(
+            name="edge_chunked_sweep",
+            buffers=tuple(buffers),
+            ops=ops,
+            outputs=("beliefs", "messages", "log_messages", "log_msg_sum"),
+            meta={"paradigm": "edge", "chunks": self._chunks},
+        )
+        return {"edge": program}
+
+    # ------------------------------------------------------------------
+    def verify_buffers(self, state: LoopyState) -> int:
+        """Runtime IR check: live arrays vs the declared programs.
+
+        Raises :class:`~repro.kernels.ir.KernelVerificationError` on any
+        shape/dtype/alias mismatch; returns the number of buffers checked.
+        """
+        arrays = {
+            "beliefs": state.beliefs,
+            "messages": state.messages,
+            "log_messages": state.log_messages,
+            "log_msg_sum": state.log_msg_sum,
+            "log_priors": state.log_priors,
+            "potentials": state.potentials,
+            "src": state.src,
+            "dst": state.dst,
+            "rev": state.rev,
+            "raw": self._raw,
+            "log_new": self._log_new,
+            "log_delta": self._log_delta,
+            "logits": self._logits,
+            "logits2": self._logits2,
+            "source": self._source,
+            "back": self._back,
+            "edge_total": self._edge_total,
+            "node_total": self._node_total,
+            "node_rowbuf": self._node_rowbuf,
+        }
+        dims = {"n": state.n, "m": state.m, "b": state.b}
+        for program in self.programs.values():
+            problems = check_buffers(program, arrays, dims)
+            if problems:
+                raise KernelVerificationError(program.name, problems)
+        return len(arrays)
 
     # ------------------------------------------------------------------
     def _is_full_nodes(self, active: np.ndarray) -> bool:

@@ -1,0 +1,263 @@
+"""Buffer-op IR for lowered sweep programs, with a static verifier.
+
+When :class:`~repro.kernels.compiled.CompiledExecutor` lowers a state it
+also emits a :class:`KernelProgram` per fused sweep — a declarative
+description of every buffer the program touches and, per fused op, which
+buffers it reads and writes.  :func:`verify_program` then checks the
+description *at plan time*, before any sweep runs:
+
+* every referenced buffer is declared exactly once;
+* no op reads a scratch/local buffer that nothing has written yet
+  (uninitialized read);
+* no op reads a buffer whose memory was last written **through a
+  different name** in the same alias group (the materialized
+  write-after-read hazard — the compiled program equivalent of the
+  linter's RPR403);
+* an op that reads and writes aliasing buffers must declare
+  ``inplace_ok`` (elementwise ufuncs with ``out=`` on an operand are
+  safe; a gather or matmul into its own input is not);
+* every declared output is actually written.
+
+:func:`check_buffers` is the optional *runtime* companion: given the
+live arrays it confirms the declared shapes, dtypes and — via
+``np.may_share_memory`` — the declared alias structure.  The driver runs
+it when ``LoopyConfig.verify_kernels`` is set, and the sharded runner
+runs it for every shard when ``instrument=`` is given (alongside the
+race detector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "BufferSpec",
+    "BufferOp",
+    "KernelProgram",
+    "KernelVerificationError",
+    "verify_program",
+    "check_buffers",
+]
+
+#: buffer roles: ``state`` arrays exist before the program runs (their
+#: initial contents are readable); ``scratch`` is plan-time allocated and
+#: sweep-reused (reads before the first write are garbage); ``local`` is
+#: allocated fresh each sweep (same uninitialized-read rule).
+BUFFER_KINDS = ("state", "scratch", "local")
+
+
+class KernelVerificationError(ValueError):
+    """A lowered program failed static or runtime verification."""
+
+    def __init__(self, program: str, problems: list[str]):
+        self.program = program
+        self.problems = list(problems)
+        lines = "\n  - ".join(self.problems)
+        super().__init__(f"kernel program {program!r} failed verification:\n  - {lines}")
+
+
+@dataclass(frozen=True)
+class BufferSpec:
+    """One named buffer: symbolic shape (dim names or int literals as
+    strings; ``"?"`` opts a dim out of runtime checking) and dtype."""
+
+    name: str
+    shape: tuple[str, ...]
+    dtype: str
+    kind: str = "state"
+
+    def __post_init__(self) -> None:
+        if self.kind not in BUFFER_KINDS:
+            raise ValueError(f"unknown buffer kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class BufferOp:
+    """One fused op: what it reads and writes, by buffer name.
+
+    ``inplace_ok`` asserts the op tolerates its reads aliasing its
+    writes (elementwise ufuncs evaluate per element, so ``out=`` may be
+    an operand); without it, any read/write alias overlap is rejected.
+    """
+
+    op: str
+    reads: tuple[str, ...] = ()
+    writes: tuple[str, ...] = ()
+    inplace_ok: bool = False
+
+
+@dataclass(frozen=True)
+class KernelProgram:
+    """A lowered sweep as the verifier sees it.
+
+    ``aliases`` lists groups of buffer names known to share memory
+    (views, reinterpretations); unlisted buffers are disjoint.
+    ``outputs`` names the state buffers whose final contents the caller
+    consumes.
+    """
+
+    name: str
+    buffers: tuple[BufferSpec, ...]
+    ops: tuple[BufferOp, ...]
+    aliases: tuple[tuple[str, ...], ...] = ()
+    outputs: tuple[str, ...] = ()
+    meta: dict = field(default_factory=dict, compare=False)
+
+    def spec(self, name: str) -> BufferSpec | None:
+        for b in self.buffers:
+            if b.name == name:
+                return b
+        return None
+
+    def describe(self) -> str:
+        """One human-readable block per program (CLI ``--verify-kernels``)."""
+        kinds: dict[str, int] = {}
+        for b in self.buffers:
+            kinds[b.kind] = kinds.get(b.kind, 0) + 1
+        kind_s = ", ".join(f"{v} {k}" for k, v in sorted(kinds.items()))
+        lines = [
+            f"program {self.name}: {len(self.ops)} op(s), "
+            f"{len(self.buffers)} buffer(s) ({kind_s}), "
+            f"outputs: {', '.join(self.outputs) or '-'}"
+        ]
+        for op in self.ops:
+            flag = " [inplace]" if op.inplace_ok else ""
+            lines.append(
+                f"  {op.op}: reads({', '.join(op.reads) or '-'}) "
+                f"-> writes({', '.join(op.writes) or '-'}){flag}"
+            )
+        return "\n".join(lines)
+
+
+def _alias_groups(program: KernelProgram) -> dict[str, frozenset[str]]:
+    """name → the full set of names sharing its memory (incl. itself)."""
+    groups: dict[str, set[str]] = {b.name: {b.name} for b in program.buffers}
+    for group in program.aliases:
+        merged: set[str] = set()
+        for name in group:
+            merged |= groups.get(name, {name})
+        for name in merged:
+            groups[name] = merged
+    return {name: frozenset(members) for name, members in groups.items()}
+
+
+def verify_program(program: KernelProgram) -> None:
+    """Static plan-time verification; raises :class:`KernelVerificationError`."""
+    problems: list[str] = []
+
+    specs: dict[str, BufferSpec] = {}
+    for b in program.buffers:
+        if b.name in specs:
+            problems.append(f"buffer {b.name!r} declared twice")
+        specs[b.name] = b
+    for group in program.aliases:
+        for name in group:
+            if name not in specs:
+                problems.append(f"alias group names undeclared buffer {name!r}")
+    groups = _alias_groups(program)
+
+    #: per alias set: the name whose write currently owns the memory
+    #: (None = untouched initial contents)
+    owner: dict[frozenset[str], str] = {}
+    written: set[str] = set()
+
+    for i, op in enumerate(program.ops):
+        where = f"op[{i}] {op.op!r}"
+        names = [*op.reads, *op.writes]
+        missing = [n for n in names if n not in specs]
+        if missing:
+            problems.append(f"{where} references undeclared buffer(s): {missing}")
+            continue
+        if not op.inplace_ok:
+            for r in op.reads:
+                for w in op.writes:
+                    if r in groups[w]:
+                        problems.append(
+                            f"{where} reads {r!r} while writing aliased "
+                            f"{w!r} without inplace_ok"
+                        )
+        for r in op.reads:
+            group = groups[r]
+            current = owner.get(group)
+            if current is None:
+                if specs[r].kind != "state":
+                    problems.append(
+                        f"{where} reads {specs[r].kind} buffer {r!r} "
+                        "before anything writes it"
+                    )
+            elif current != r and r not in op.writes:
+                problems.append(
+                    f"{where} reads {r!r}, but its memory was clobbered "
+                    f"through alias {current!r} (write-after-read hazard)"
+                )
+        for w in op.writes:
+            owner[groups[w]] = w
+            written.add(w)
+
+    for out in program.outputs:
+        if out not in specs:
+            problems.append(f"output {out!r} is not a declared buffer")
+        elif out not in written:
+            problems.append(f"output {out!r} is never written by any op")
+
+    if problems:
+        raise KernelVerificationError(program.name, problems)
+
+
+def check_buffers(
+    program: KernelProgram,
+    arrays: dict[str, np.ndarray],
+    dims: dict[str, int] | None = None,
+) -> list[str]:
+    """Runtime verification of live arrays against the declared IR.
+
+    Checks dtype, shape (with ``dims`` binding symbolic names like
+    ``"n"``/``"m"``/``"b"``) and the alias structure: buffers declared
+    disjoint must not share memory, buffers declared aliasing must.
+    Returns the list of problems (empty = consistent); only buffers
+    present in ``arrays`` are checked.
+    """
+    dims = dims or {}
+    problems: list[str] = []
+    groups = _alias_groups(program)
+
+    for name, arr in arrays.items():
+        spec = program.spec(name)
+        if spec is None:
+            problems.append(f"runtime buffer {name!r} is not declared")
+            continue
+        if np.dtype(spec.dtype) != arr.dtype:
+            problems.append(
+                f"{name}: dtype {arr.dtype} != declared {spec.dtype}"
+            )
+        if len(spec.shape) != arr.ndim:
+            problems.append(
+                f"{name}: rank {arr.ndim} != declared {len(spec.shape)}"
+            )
+            continue
+        for axis, (sym, actual) in enumerate(zip(spec.shape, arr.shape)):
+            expected = dims.get(sym)
+            if expected is None and sym.isdigit():
+                expected = int(sym)
+            if expected is not None and actual != expected:
+                problems.append(
+                    f"{name}: shape[{axis}] = {actual} != declared "
+                    f"{sym} (= {expected})"
+                )
+
+    names = [n for n in arrays if program.spec(n) is not None]
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            declared = b in groups.get(a, frozenset())
+            actual = bool(np.may_share_memory(arrays[a], arrays[b]))
+            if declared and not actual:
+                problems.append(
+                    f"{a!r} and {b!r} declared aliasing but do not share memory"
+                )
+            elif actual and not declared:
+                problems.append(
+                    f"{a!r} and {b!r} share memory but are declared disjoint"
+                )
+    return problems

@@ -1,0 +1,44 @@
+"""Planted RPR403 write-after-read hazards: out= clobbers a live alias."""
+
+import numpy as np
+
+
+def clobbered_alias(state):
+    old = state.beliefs
+    np.exp(state.log_priors, out=state.beliefs)  # FINDING
+    # `old` still aliases the belief buffer, so this reads exp()d rows.
+    return old.sum()
+
+
+def loop_carried_alias(state):
+    captured = state.log_msg_sum
+    acc = 0.0
+    for _ in range(3):
+        acc = acc + captured.sum()
+        np.add(state.log_priors, state.log_priors, out=state.log_msg_sum)  # FINDING
+    return acc
+
+
+def inplace_pipeline_ok(state):
+    # Same-statement read plus chained in-place ops through one name:
+    # well-defined ufunc semantics, and the alias is never read stale.
+    new = state.beliefs + 1.0
+    old = state.beliefs
+    np.subtract(new, old, out=old)
+    np.abs(old, out=old)
+    deltas = old.sum(axis=1)
+    state.beliefs[:] = new
+    return deltas
+
+
+def rebound_before_read_ok(state):
+    old = state.beliefs
+    np.exp(state.log_priors, out=state.beliefs)
+    old = state.log_priors
+    return old.sum()
+
+
+def copy_before_write_ok(state):
+    old = state.beliefs.copy()
+    np.exp(state.log_priors, out=state.beliefs)
+    return old.sum()

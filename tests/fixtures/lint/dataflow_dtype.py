@@ -1,0 +1,35 @@
+"""Planted RPR402 dtype drift: float64 silently downcast into float32."""
+
+import numpy as np
+
+
+def out_downcast(state):
+    # np.zeros defaults to float64, so the add produces float64 and the
+    # out= narrows it back into the float32 belief buffer.
+    bias = np.zeros((state.n, state.b))
+    np.add(state.beliefs, bias, out=state.beliefs)  # FINDING
+    return state.beliefs
+
+
+def store_downcast(state, deltas):
+    # bincount with weights returns float64; the column store narrows.
+    state.log_msg_sum[:, 0] = np.bincount(state.dst, weights=state.messages[:, 0], minlength=state.n)  # FINDING
+    return state.log_msg_sum
+
+
+def augmented_downcast(state):
+    extra = np.ones((state.n, state.b))
+    state.log_msg_sum += extra  # FINDING
+    return state.log_msg_sum
+
+
+def explicit_cast_ok(state):
+    counts = np.bincount(state.dst, weights=state.messages[:, 0], minlength=state.n)
+    state.log_msg_sum[:, 0] = counts.astype(np.float32)
+    return state.log_msg_sum
+
+
+def float32_math_ok(state):
+    bias = np.zeros((state.n, state.b), dtype=np.float32)
+    np.add(state.beliefs, bias, out=state.beliefs)
+    return state.beliefs

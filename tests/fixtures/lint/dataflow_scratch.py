@@ -1,0 +1,32 @@
+"""Planted RPR404 scratch-buffer escapes from an executor-style class."""
+
+import numpy as np
+
+
+class MiniExecutor:
+    """Lowers once, reuses `_scratch` across sweeps (like CompiledExecutor)."""
+
+    def __init__(self, state):
+        self._scratch = np.empty((state.m, state.b), dtype=np.float32)
+        self._deltas = np.empty((state.m,), dtype=np.float32)
+
+    def _fill(self, state):
+        np.multiply(state.messages, 2.0, out=self._scratch)
+        return self._scratch  # private helper: allowed
+
+    def edge_view(self, state):
+        raw = self._fill(state)
+        return raw  # FINDING
+
+    def publish(self, state):
+        state.stash = self._scratch  # FINDING
+        return None
+
+    def edge_copy(self, state):
+        raw = self._fill(state)
+        return raw.copy()
+
+    def deltas(self, state):
+        np.subtract(self._scratch[:, 0], state.messages[:, 0], out=self._deltas)
+        total = float(self._deltas.sum())
+        return total

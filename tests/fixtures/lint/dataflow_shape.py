@@ -1,0 +1,39 @@
+"""Planted RPR401 shape/axis mismatches for the whole-program pass."""
+
+import numpy as np
+
+
+def node_edge_mixup(state):
+    # beliefs is (n_nodes, b) but messages is (n_edges, b): the add
+    # aligns two distinct project dimensions.
+    return state.beliefs + state.messages  # FINDING
+
+
+def gather_from_wrong_table(state):
+    # src holds *node* ids; messages is indexed by *edge* id.
+    return state.messages[state.src]  # FINDING
+
+
+def take_from_wrong_table(state):
+    return np.take(state.beliefs, state.in_edge_ids)  # FINDING
+
+
+def scatter_to_wrong_length(state, weights):
+    # dst holds node ids but the accumulator is edge-length.
+    return np.bincount(state.dst, weights=weights, minlength=state.m)  # FINDING
+
+
+def weights_span_wrong_axis(state):
+    col = state.beliefs[:, 0]
+    return np.bincount(state.dst, weights=col, minlength=state.n)  # FINDING
+
+
+def gather_ok(state):
+    # node ids into a node-indexed table: fine.
+    source = state.beliefs[state.src]
+    return source + state.messages
+
+
+def scatter_ok(state):
+    col = state.messages[:, 0]
+    return np.bincount(state.dst, weights=col, minlength=state.n)

@@ -1,0 +1,264 @@
+"""Whole-program dataflow rules (RPR4xx), SARIF export, baseline updates.
+
+The RPR4xx fixtures under ``tests/fixtures/lint/dataflow_*.py`` follow
+the same convention as the rest of the lint fixtures: ``# FINDING``
+marks every line the rule must flag, and each file carries clean twins
+the rule must stay silent on.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main as analysis_main
+from repro.analysis.framework import (
+    Analyzer,
+    all_rules,
+    load_baseline,
+    update_baseline,
+    write_baseline,
+)
+from repro.analysis.sarif import SARIF_VERSION, render_sarif, validate_sarif
+from tests.test_analysis import (
+    FIXTURES,
+    REPO,
+    SRC,
+    assert_matches_markers,
+    run_rule,
+)
+
+
+class TestDataflowRules:
+    def test_shape_axis_mismatch(self):
+        assert_matches_markers("RPR401", "dataflow_shape.py")
+
+    def test_dtype_drift(self):
+        assert_matches_markers("RPR402", "dataflow_dtype.py")
+
+    def test_write_after_read(self):
+        assert_matches_markers("RPR403", "dataflow_alias.py")
+
+    def test_scratch_escape(self):
+        assert_matches_markers("RPR404", "dataflow_scratch.py")
+
+    def test_rules_registered_with_catalog(self):
+        ids = {r.id for r in all_rules()}
+        assert {"RPR401", "RPR402", "RPR403", "RPR404"} <= ids
+
+    def test_clean_tree_has_zero_findings(self):
+        """Acceptance gate: RPR4xx report nothing unbaselined on src."""
+        rules = [r for r in all_rules() if r.id.startswith("RPR4")]
+        result = Analyzer(rules=rules, root=REPO).run([SRC])
+        assert not result.errors
+        assert [f.format() for f in result.findings] == []
+
+    def test_messages_name_the_axes(self):
+        result = run_rule("RPR401", "dataflow_shape.py")
+        messages = " ".join(f.message for f in result.findings)
+        assert "n_nodes" in messages and "n_edges" in messages
+
+
+class TestNoqaSuppression:
+    def _analyze(self, tmp_path: Path, line_comment: str):
+        src = textwrap.dedent(
+            f"""\
+            import numpy as np
+
+            def clobber(state):
+                old = state.beliefs
+                np.exp(state.beliefs, out=state.beliefs)  {line_comment}
+                return old.sum()
+            """
+        )
+        path = tmp_path / "noqa_case.py"
+        path.write_text(src)
+        rules = [r for r in all_rules() if r.id == "RPR403"]
+        return Analyzer(rules=rules, root=tmp_path).run([path])
+
+    def test_finding_fires_without_noqa(self, tmp_path):
+        result = self._analyze(tmp_path, "")
+        assert [f.rule for f in result.findings] == ["RPR403"]
+
+    def test_multi_code_noqa(self, tmp_path):
+        result = self._analyze(tmp_path, "# noqa: RPR101, RPR403")
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_multi_code_noqa_other_rules_only(self, tmp_path):
+        # codes that don't include RPR403 must not silence it
+        result = self._analyze(tmp_path, "# noqa: RPR101, RPR102")
+        assert [f.rule for f in result.findings] == ["RPR403"]
+
+    def test_case_insensitive_noqa(self, tmp_path):
+        result = self._analyze(tmp_path, "# NOQA: rpr403")
+        assert result.findings == []
+        assert result.suppressed == 1
+
+
+class TestFingerprintStability:
+    def test_stable_across_line_shifts(self, tmp_path):
+        body = textwrap.dedent(
+            """\
+            import numpy as np
+
+            def clobber(state):
+                old = state.beliefs
+                np.exp(state.beliefs, out=state.beliefs)
+                return old.sum()
+            """
+        )
+        rules = [r for r in all_rules() if r.id == "RPR403"]
+
+        def fingerprints(prefix: str) -> dict[str, int]:
+            path = tmp_path / "shifty.py"
+            path.write_text(prefix + body)
+            result = Analyzer(rules=rules, root=tmp_path).run([path])
+            assert result.findings
+            return {f.fingerprint: f.line for f in result.findings}
+
+        plain = fingerprints("")
+        shifted = fingerprints("# a comment pushing everything down\n" * 7)
+        assert set(plain) == set(shifted)  # same fingerprints...
+        assert set(plain.values()) != set(shifted.values())  # ...new lines
+
+
+class TestSarif:
+    def _result(self):
+        return run_rule("RPR401", "dataflow_shape.py")
+
+    def test_round_trip_validates(self):
+        result = self._result()
+        assert result.findings
+        doc = render_sarif(result, all_rules())
+        assert validate_sarif(doc) == []
+        parsed = json.loads(doc)
+        assert parsed["version"] == SARIF_VERSION
+        run = parsed["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro.analysis"
+        assert len(run["results"]) == len(result.findings)
+        first = run["results"][0]
+        assert first["ruleId"] == "RPR401"
+        loc = first["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("dataflow_shape.py")
+        assert loc["region"]["startLine"] >= 1
+        assert first["partialFingerprints"]["reproBaseline/v1"]
+
+    def test_rule_catalog_indexes_resolve(self):
+        parsed = json.loads(render_sarif(self._result(), all_rules()))
+        run = parsed["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        for res in run["results"]:
+            assert rules[res["ruleIndex"]]["id"] == res["ruleId"]
+
+    def test_validator_rejects_broken_documents(self):
+        assert validate_sarif("not json {") != []
+        assert validate_sarif({"version": "2.0.0", "runs": []}) != []
+        doc = json.loads(render_sarif(self._result(), all_rules()))
+        doc["runs"][0]["results"][0]["ruleId"] = "RPR999"
+        del doc["runs"][0]["results"][1]["message"]
+        problems = validate_sarif(doc)
+        assert any("RPR999" in p for p in problems)
+        assert any("message.text" in p for p in problems)
+
+    def test_cli_sarif_report(self, tmp_path, capsys):
+        report = tmp_path / "findings.sarif"
+        code = analysis_main([
+            str(FIXTURES / "dataflow_shape.py"),
+            "--rules", "RPR401",
+            "--sarif", "--sarif-report", str(report),
+        ])
+        assert code == 1
+        stdout_doc = capsys.readouterr().out
+        assert validate_sarif(stdout_doc) == []
+        assert validate_sarif(report.read_text()) == []
+
+
+class TestUpdateBaseline:
+    def test_preserves_reasons_across_line_shifts(self, tmp_path):
+        result = run_rule("RPR402", "dataflow_dtype.py")
+        assert result.findings
+        path = tmp_path / "baseline.json"
+        write_baseline(result.findings, path, reason="accepted f64 debt")
+
+        # same rule+path, different fingerprints (as after a refactor):
+        # the recorded reason must carry over to the regenerated entries
+        moved = [f for f in result.findings]
+        kept, dropped = update_baseline(moved, path)
+        assert kept == len(
+            {(f.rule, f.path) for f in moved}
+        ) or kept >= 1
+        regenerated = load_baseline(path)
+        assert regenerated
+        assert all(
+            entry.get("reason") == "accepted f64 debt"
+            for entry in regenerated.values()
+        )
+
+    def test_drops_stale_entries(self, tmp_path):
+        dtype = run_rule("RPR402", "dataflow_dtype.py").findings
+        shape = run_rule("RPR401", "dataflow_shape.py").findings
+        path = tmp_path / "baseline.json"
+        write_baseline(dtype + shape, path, reason="old debt")
+        kept, dropped = update_baseline(shape, path)
+        assert dropped >= len({f.fingerprint for f in dtype})
+        regenerated = load_baseline(path)
+        assert {e["rule"] for e in regenerated.values()} == {"RPR401"}
+
+    def test_cli_update_baseline(self, tmp_path, capsys):
+        fixture = str(FIXTURES / "dataflow_alias.py")
+        path = tmp_path / "baseline.json"
+        # without --baseline the flag is an error
+        assert analysis_main([fixture, "--update-baseline"]) == 2
+        assert analysis_main([
+            fixture, "--rules", "RPR403",
+            "--baseline", str(path), "--update-baseline",
+        ]) == 0
+        assert load_baseline(path)
+        # the regenerated baseline green-lights the same scan
+        assert analysis_main([
+            fixture, "--rules", "RPR403", "--baseline", str(path),
+        ]) == 0
+
+
+class TestDataflowEngineInternals:
+    def test_axis_lattice(self):
+        from repro.analysis.dataflow import (
+            ArrayValue,
+            axes_broadcastable,
+            join_values,
+        )
+
+        assert axes_broadcastable("n_nodes", "n_nodes")
+        assert axes_broadcastable("n_nodes", "?")
+        assert axes_broadcastable("n_nodes", "1")
+        assert not axes_broadcastable("n_nodes", "n_edges")
+        assert not axes_broadcastable("n_states", "7")
+
+        a = ArrayValue(shape=("n_nodes", "n_states"), dtype="float32")
+        b = ArrayValue(shape=("n_nodes", "n_states"), dtype="float64")
+        joined = join_values(a, b)
+        assert joined.shape == ("n_nodes", "n_states")
+        assert joined.dtype is None  # branches disagree → unknown
+
+    def test_contracts_derived_from_real_state(self):
+        from repro.analysis.dataflow import DataflowProject
+
+        sources = []
+        for rel in ("core/state.py", "core/graph.py", "core/numeric.py"):
+            path = SRC / "repro" / rel
+            text = path.read_text()
+            import ast as _ast
+
+            sources.append((path, text, _ast.parse(text)))
+        project = DataflowProject(sources)
+        contracts = project.engine.class_contracts("LoopyState")
+        assert contracts is not None
+        beliefs = contracts.attrs["beliefs"]
+        assert beliefs.shape == ("n_nodes", "n_states")
+        assert beliefs.dtype == "float32"
+        assert contracts.attrs["src"].index_space == "n_nodes"
+        assert contracts.attrs["messages"].shape == ("n_edges", "n_states")

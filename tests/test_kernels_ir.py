@@ -1,0 +1,220 @@
+"""Buffer-op kernel IR: plan-time verification, runtime cross-check.
+
+The compiled executor's lowering emits a :class:`KernelProgram` per
+paradigm; these tests pin the contract from the verifier side — every
+schedule × paradigm lowers to a program that passes static verification
+with posteriors still bit-exact against the interpreted executor, a
+deliberately-aliased program is rejected, and the runtime buffer check
+catches shape/dtype/alias drift the static pass cannot see.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.loopy import LoopyBP
+from repro.core.state import LoopyState
+from repro.kernels.compiled import CompiledExecutor
+from repro.kernels.ir import (
+    BufferOp,
+    BufferSpec,
+    KernelProgram,
+    KernelVerificationError,
+    check_buffers,
+    verify_program,
+)
+from tests.conftest import make_loopy_graph
+
+CRIT = ConvergenceCriterion(threshold=1e-6, max_iterations=60)
+SCHEDULES = ("sync", "work_queue", "residual", "relaxed")
+
+
+def _graph(seed: int = 42):
+    return make_loopy_graph(seed=seed, n_nodes=40, n_edges=90, n_states=3)
+
+
+class TestProgramEmission:
+    @pytest.mark.parametrize("paradigm", ["node", "edge"])
+    def test_lowering_emits_verified_program(self, paradigm):
+        state = LoopyState(_graph())
+        executor = CompiledExecutor(state, paradigm=paradigm)
+        assert list(executor.programs) == [paradigm]
+        program = executor.programs[paradigm]
+        verify_program(program)  # idempotent: already ran at lowering
+        assert set(program.outputs) == {
+            "beliefs", "messages", "log_messages", "log_msg_sum",
+        }
+        described = program.describe()
+        assert program.name in described
+        assert "apply_potential" in described
+
+    @pytest.mark.parametrize("paradigm", ["node", "edge"])
+    def test_runtime_buffers_consistent(self, paradigm):
+        state = LoopyState(_graph())
+        executor = CompiledExecutor(state, paradigm=paradigm)
+        assert executor.verify_buffers(state) > 0
+
+    def test_runtime_check_catches_foreign_state(self):
+        # a state with different dimensions must fail the runtime check
+        executor = CompiledExecutor(LoopyState(_graph()), paradigm="node")
+        other = LoopyState(make_loopy_graph(seed=7, n_nodes=12, n_edges=30,
+                                            n_states=2))
+        with pytest.raises(KernelVerificationError):
+            executor.verify_buffers(other)
+
+
+class TestVerifiedParity:
+    @pytest.mark.parametrize("paradigm", ["node", "edge"])
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    def test_verified_runs_stay_bit_exact(self, schedule, paradigm):
+        """verify_kernels=True must change nothing but add the check."""
+        ref = LoopyBP(
+            paradigm=paradigm, schedule=schedule, criterion=CRIT,
+            executor="interpreted",
+        ).run(_graph())
+        got = LoopyBP(
+            paradigm=paradigm, schedule=schedule, criterion=CRIT,
+            executor="compiled", verify_kernels=True,
+        ).run(_graph())
+        assert got.iterations == ref.iterations
+        np.testing.assert_array_equal(got.beliefs, ref.beliefs)
+
+    def test_interpreted_executor_is_a_no_op(self):
+        # the flag must not require the interpreted executor to lower
+        result = LoopyBP(
+            schedule="sync", criterion=CRIT,
+            executor="interpreted", verify_kernels=True,
+        ).run(_graph())
+        assert result.iterations > 0
+
+
+def _program(ops, *, aliases=(), outputs=("y",)):
+    buffers = (
+        BufferSpec("x", ("m", "b"), "float32", "state"),
+        BufferSpec("y", ("m", "b"), "float32", "state"),
+        BufferSpec("tmp", ("m", "b"), "float32", "scratch"),
+        BufferSpec("view", ("m", "b"), "float32", "scratch"),
+    )
+    return KernelProgram(
+        name="test", buffers=buffers, ops=tuple(ops),
+        aliases=tuple(aliases), outputs=tuple(outputs),
+    )
+
+
+class TestStaticVerifier:
+    def test_clean_program_passes(self):
+        verify_program(_program([
+            BufferOp("load", reads=("x",), writes=("tmp",)),
+            BufferOp("store", reads=("tmp",), writes=("y",)),
+        ]))
+
+    def test_rejects_deliberate_alias_clobber(self):
+        """The acceptance fixture: tmp and view share memory, the write
+        through view clobbers tmp before its read."""
+        program = _program(
+            [
+                BufferOp("load", reads=("x",), writes=("tmp",)),
+                BufferOp("clobber", reads=("x",), writes=("view",)),
+                BufferOp("store", reads=("tmp",), writes=("y",)),
+            ],
+            aliases=[("tmp", "view")],
+        )
+        with pytest.raises(KernelVerificationError) as exc:
+            verify_program(program)
+        assert "write-after-read" in str(exc.value)
+
+    def test_rejects_inplace_without_declaration(self):
+        with pytest.raises(KernelVerificationError) as exc:
+            verify_program(_program([
+                BufferOp("load", reads=("x",), writes=("tmp",)),
+                BufferOp("gather", reads=("tmp",), writes=("tmp",)),
+                BufferOp("store", reads=("tmp",), writes=("y",)),
+            ]))
+        assert "inplace_ok" in str(exc.value)
+
+    def test_accepts_declared_inplace(self):
+        verify_program(_program([
+            BufferOp("load", reads=("x",), writes=("tmp",)),
+            BufferOp("scale", reads=("tmp",), writes=("tmp",), inplace_ok=True),
+            BufferOp("store", reads=("tmp",), writes=("y",)),
+        ]))
+
+    def test_rejects_uninitialized_scratch_read(self):
+        with pytest.raises(KernelVerificationError) as exc:
+            verify_program(_program([
+                BufferOp("store", reads=("tmp",), writes=("y",)),
+            ]))
+        assert "before anything writes it" in str(exc.value)
+
+    def test_rejects_undeclared_buffer(self):
+        with pytest.raises(KernelVerificationError) as exc:
+            verify_program(_program([
+                BufferOp("load", reads=("ghost",), writes=("y",)),
+            ]))
+        assert "undeclared" in str(exc.value)
+
+    def test_rejects_unwritten_output(self):
+        with pytest.raises(KernelVerificationError) as exc:
+            verify_program(_program([
+                BufferOp("load", reads=("x",), writes=("tmp",)),
+            ]))
+        assert "never written" in str(exc.value)
+
+
+class TestRuntimeCheck:
+    def _program(self):
+        return _program([
+            BufferOp("load", reads=("x",), writes=("tmp",)),
+            BufferOp("store", reads=("tmp",), writes=("y",)),
+        ])
+
+    def test_consistent_buffers_pass(self):
+        arrays = {
+            "x": np.zeros((6, 3), np.float32),
+            "y": np.zeros((6, 3), np.float32),
+            "tmp": np.zeros((6, 3), np.float32),
+        }
+        assert check_buffers(self._program(), arrays, {"m": 6, "b": 3}) == []
+
+    def test_catches_dtype_and_shape_drift(self):
+        arrays = {
+            "x": np.zeros((6, 3), np.float64),
+            "y": np.zeros((5, 3), np.float32),
+        }
+        problems = check_buffers(self._program(), arrays, {"m": 6, "b": 3})
+        assert any("dtype" in p for p in problems)
+        assert any("shape[0]" in p for p in problems)
+
+    def test_catches_undeclared_sharing(self):
+        base = np.zeros((6, 3), np.float32)
+        arrays = {"x": base, "tmp": base[:, :]}
+        problems = check_buffers(self._program(), arrays, {"m": 6, "b": 3})
+        assert any("share memory" in p for p in problems)
+
+    def test_catches_missing_declared_alias(self):
+        program = _program(
+            [
+                BufferOp("load", reads=("x",), writes=("tmp",)),
+                BufferOp("store", reads=("tmp",), writes=("y",)),
+            ],
+            aliases=[("tmp", "view")],
+        )
+        arrays = {
+            "tmp": np.zeros((6, 3), np.float32),
+            "view": np.zeros((6, 3), np.float32),
+        }
+        problems = check_buffers(program, arrays, {"m": 6, "b": 3})
+        assert any("declared aliasing" in p for p in problems)
+
+
+class TestCliPreflight:
+    def test_verify_kernels_flag(self, capsys):
+        from repro.credo.cli import main as credo_main
+
+        code = credo_main([
+            "run", "examples/family_out.bif", "--verify-kernels", "--top", "0",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "kernel verification OK [node]" in err
+        assert "kernel verification OK [edge]" in err
