@@ -66,6 +66,10 @@ class BeliefGraph:
         ``"soa"``, or the tile-packed ``"blocked"``.
     """
 
+    #: class-level default so clone paths built via ``__new__`` (layout
+    #: conversion, copy) stay consistent even before assigning their own
+    reserved_nbytes: int = 0
+
     def __init__(
         self,
         priors: np.ndarray | Sequence[np.ndarray],
@@ -150,6 +154,12 @@ class BeliefGraph:
         # --- observations ------------------------------------------------
         self.observed = np.zeros(self.n_nodes, dtype=bool)
         self.observed_state = np.full(self.n_nodes, -1, dtype=np.int64)
+
+        #: bytes reserved beyond the live data — amortized-growth loaders
+        #: (repro.stream) build over capacity-doubled buffers and record
+        #: their slack here so memory_footprint() never reports
+        #: over-allocation as live data
+        self.reserved_nbytes = 0
 
         # --- lazy caches -------------------------------------------------
         #: name → id mapping, built on first string lookup (see node_id)
@@ -318,7 +328,10 @@ class BeliefGraph:
 
         ``metadata`` covers the lazily-built caches — the name → id map
         and memoized Credo features — which serve capacity accounting
-        must count once they exist (zero until first use).
+        must count once they exist (zero until first use).  ``reserved``
+        is capacity minus live size: the amortized-growth slack of a
+        streamed build (zero for batch-constructed graphs), reported
+        separately so capacity planning sees allocation, not just data.
         """
         import sys
 
@@ -342,6 +355,7 @@ class BeliefGraph:
                 + self.out_offsets.nbytes + self.out_edge_ids.nbytes
             ),
             "metadata": int(metadata),
+            "reserved": int(self.reserved_nbytes),
         }
 
     def metadata(self) -> dict[str, float]:
@@ -375,6 +389,8 @@ class BeliefGraph:
         clone.out_offsets, clone.out_edge_ids = self.out_offsets, self.out_edge_ids
         clone.observed = self.observed.copy()
         clone.observed_state = self.observed_state.copy()
+        # structure arrays are shared, so their over-allocation is too
+        clone.reserved_nbytes = self.reserved_nbytes
         # structure (and hence names/features) is shared, so the caches are too
         clone._name_to_id = self._name_to_id
         clone._feature_cache = self._feature_cache

@@ -37,7 +37,7 @@ from repro.core.graph import BeliefGraph
 from repro.core.scheduler import SCHEDULES, make_schedule, normalize_schedule
 from repro.core.state import LoopyState
 from repro.core.sweepstats import RunStats, SweepStats
-from repro.kernels.executor import make_executor, normalize_executor
+from repro.kernels.executor import cached_executor, normalize_executor
 from repro.telemetry import get_tracer
 
 __all__ = ["LoopyConfig", "LoopyResult", "LoopyBP"]
@@ -193,11 +193,13 @@ class _Step:
 class _NodePlan:
     """Per-node paradigm: elements are nodes, deltas are belief deltas."""
 
-    def __init__(self, state: LoopyState, cfg: LoopyConfig):
+    def __init__(self, state: LoopyState, cfg: LoopyConfig, executor_cache=None):
         self.state = state
         self.cfg = cfg
         self.n_elements = state.n
-        self.executor = make_executor(cfg.executor, state, paradigm="node")
+        self.executor = cached_executor(
+            executor_cache, cfg.executor, state, paradigm="node"
+        )
         if cfg.verify_kernels:
             _verify_executor_buffers(self.executor, state)
         # Per-element convergence threshold (§3.5): an element whose own
@@ -233,12 +235,12 @@ class _EdgePlan:
     """Per-edge paradigm: elements are directed edges, deltas are message
     deltas; the global criterion still reduces over node beliefs."""
 
-    def __init__(self, state: LoopyState, cfg: LoopyConfig):
+    def __init__(self, state: LoopyState, cfg: LoopyConfig, executor_cache=None):
         self.state = state
         self.cfg = cfg
         self.n_elements = state.m
-        self.executor = make_executor(
-            cfg.executor, state, paradigm="edge", chunks=cfg.edge_chunks
+        self.executor = cached_executor(
+            executor_cache, cfg.executor, state, paradigm="edge", chunks=cfg.edge_chunks
         )
         if cfg.verify_kernels:
             _verify_executor_buffers(self.executor, state)
@@ -301,23 +303,44 @@ class LoopyBP:
         self.config = replace(base, **overrides) if overrides else base
 
     # ------------------------------------------------------------------
-    def run(self, graph: BeliefGraph, state: LoopyState | None = None) -> LoopyResult:
+    def run(
+        self,
+        graph: BeliefGraph,
+        state: LoopyState | None = None,
+        *,
+        active_seed: np.ndarray | None = None,
+        executor_cache: dict | None = None,
+    ) -> LoopyResult:
         """Run BP to convergence (or the iteration cap) on ``graph``.
 
         The graph's belief store is updated in place with the final
         posteriors; the result additionally carries a dense copy.
+        ``active_seed`` warm-starts the schedule on just those elements
+        (see :meth:`Schedule.restrict`); ``executor_cache`` memoizes
+        executor lowerings across runs over the same state buffers —
+        both are the incremental re-convergence hooks (DESIGN.md §15).
         """
         state = state or LoopyState(graph)
-        result = self._run(state)
+        result = self._run(state, active_seed=active_seed, executor_cache=executor_cache)
         state.export_beliefs()
         return result
 
     # ------------------------------------------------------------------
-    def _run(self, state: LoopyState) -> LoopyResult:
+    def _run(
+        self,
+        state: LoopyState,
+        *,
+        active_seed: np.ndarray | None = None,
+        executor_cache: dict | None = None,
+    ) -> LoopyResult:
         """The single driver loop, parameterized by (paradigm, schedule)."""
         cfg = self.config
         crit = cfg.criterion
-        plan = _NodePlan(state, cfg) if cfg.paradigm == "node" else _EdgePlan(state, cfg)
+        plan = (
+            _NodePlan(state, cfg, executor_cache)
+            if cfg.paradigm == "node"
+            else _EdgePlan(state, cfg, executor_cache)
+        )
         schedule = make_schedule(
             cfg.schedule,
             plan.n_elements,
@@ -326,6 +349,8 @@ class LoopyBP:
             relaxation=cfg.relaxation,
             seed=cfg.schedule_seed,
         )
+        if active_seed is not None:
+            schedule.restrict(np.asarray(active_seed, dtype=np.int64))
         want_downstream = cfg.requeue_downstream and schedule.wants_downstream
 
         tracer = get_tracer()

@@ -203,6 +203,19 @@ class WorkQueue:
                 span.set(offered=int(len(elements)), added=added)
         return added
 
+    def seed(self, elements: np.ndarray) -> None:
+        """Replace the active set with ``elements`` (duplicates fine).
+
+        The warm-start entry point: incremental re-convergence
+        (:mod:`repro.stream.incremental`) populates the queue with just
+        the dirty region instead of every element.
+        """
+        elements = np.asarray(elements, dtype=np.int64).reshape(-1)
+        mask = np.zeros(self.n_elements, dtype=bool)
+        mask[elements] = True
+        self._active = np.flatnonzero(mask).astype(np.int64)
+        self.pushes += len(self._active)
+
     def reset(self) -> None:
         """Re-enqueue every element (start of a run)."""
         self._active = np.arange(self.n_elements, dtype=np.int64)
@@ -276,6 +289,21 @@ class Schedule:
         process everything anyway.
         """
 
+    def restrict(
+        self, elements: np.ndarray, priorities: np.ndarray | None = None
+    ) -> None:
+        """Limit the *initial* active set to ``elements`` (warm start).
+
+        Incremental re-convergence (:mod:`repro.stream.incremental`)
+        calls this once, before the first sweep: a run warm-started from
+        a converged state only needs to repopulate the dirty region —
+        the normal :meth:`update` feedback then grows the active set as
+        far as the perturbation actually propagates.  ``priorities``
+        (aligned, optional) carries residual estimates for the priority
+        schedules.  Synchronous schedules ignore it: they sweep every
+        element anyway, and their warm-start saving is fewer iterations.
+        """
+
     @property
     def drained(self) -> bool:
         """True when every element individually passed its convergence
@@ -333,6 +361,9 @@ class WorkQueueSchedule(Schedule):
 
     def reactivate(self, elements, priorities=None):
         self._reactivated += self.queue.merge(np.asarray(elements, dtype=np.int64))
+
+    def restrict(self, elements, priorities=None):
+        self.queue.seed(np.asarray(elements, dtype=np.int64))
 
     @property
     def drained(self) -> bool:
@@ -421,6 +452,20 @@ class ResidualSchedule(Schedule):
             keys = np.maximum(np.asarray(priorities, dtype=float), self.element_threshold)
         np.maximum.at(self.priority, elements, keys)
         self._reactivated += len(elements)
+
+    def restrict(self, elements, priorities=None):
+        # zero out the optimistic +inf start, then mark only the dirty
+        # region eligible — the lazy-heap equivalent of seeding the queue
+        self.priority[:] = 0.0
+        elements = np.asarray(elements, dtype=np.int64)
+        if not len(elements):
+            return
+        if priorities is None:
+            self.priority[elements] = np.inf
+        else:
+            self.priority[elements] = np.maximum(
+                np.asarray(priorities, dtype=float), self.element_threshold
+            )
 
     @property
     def drained(self) -> bool:

@@ -209,6 +209,32 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="exit non-zero unless the response carries "
                             "well-formed, normalized posteriors")
     query.add_argument("--timeout", type=float, default=30.0)
+
+    update = sub.add_parser(
+        "update", help="apply a structural graph delta to a served model"
+    )
+    update.add_argument("model", help="registered model name")
+    update.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="address printed by 'credo serve --socket'")
+    update.add_argument("--add-node", action="append", default=[],
+                        metavar="NAME[=p0,p1,...]",
+                        help="add a node, optionally with an explicit prior "
+                             "(default uniform); repeatable")
+    update.add_argument("--add-edge", action="append", default=[],
+                        metavar="U,V",
+                        help="add an undirected edge between two nodes "
+                             "(shared potential); repeatable")
+    update.add_argument("--remove-edge", action="append", default=[],
+                        metavar="U,V",
+                        help="remove an undirected edge; repeatable")
+    update.add_argument("--detach-node", action="append", default=[],
+                        metavar="NAME",
+                        help="drop every edge incident to a node and reset "
+                             "its prior (ids are never reused); repeatable")
+    update.add_argument("--journal", default=None, metavar="FILE.jsonl",
+                        help="apply a saved DeltaJournal (one delta payload "
+                             "per line) instead of building one from flags")
+    update.add_argument("--timeout", type=float, default=30.0)
     return parser
 
 
@@ -450,6 +476,77 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_update(args) -> int:
+    import json
+
+    from repro.serve.transport import request_over_socket
+
+    host, port = _parse_hostport(args.connect)
+    payloads: list[dict] = []
+    if args.journal is not None:
+        if args.add_node or args.add_edge or args.remove_edge or args.detach_node:
+            print("error: --journal replaces the delta flags; use one or the other",
+                  file=sys.stderr)
+            return 2
+        from repro.stream.delta import DeltaJournal
+
+        journal = DeltaJournal.load(args.journal)
+        if not len(journal):
+            print(f"error: journal {args.journal!r} is empty", file=sys.stderr)
+            return 2
+        payloads = [delta.to_payload() for delta in journal]
+    else:
+        delta: dict = {}
+        add_nodes = []
+        for spec in args.add_node:
+            name, eq, prior = spec.partition("=")
+            if not name:
+                print(f"error: bad --add-node {spec!r} (expected NAME[=p0,p1,...])",
+                      file=sys.stderr)
+                return 2
+            entry: dict = {"name": name.strip()}
+            if eq:
+                try:
+                    entry["prior"] = [float(p) for p in prior.split(",")]
+                except ValueError:
+                    print(f"error: bad prior in --add-node {spec!r}", file=sys.stderr)
+                    return 2
+            add_nodes.append(entry)
+        if add_nodes:
+            delta["add_nodes"] = add_nodes
+        for flag, key in (("add_edge", "add_edges"), ("remove_edge", "remove_edges")):
+            pairs = []
+            for spec in getattr(args, flag):
+                u, sep, v = spec.partition(",")
+                if not sep or not u.strip() or not v.strip():
+                    print(f"error: bad --{flag.replace('_', '-')} {spec!r} "
+                          "(expected U,V)", file=sys.stderr)
+                    return 2
+                pairs.append([u.strip(), v.strip()])
+            if pairs:
+                delta[key] = pairs
+        if args.detach_node:
+            delta["detach_nodes"] = [n.strip() for n in args.detach_node]
+        if not delta:
+            print("error: nothing to apply; pass delta flags or --journal",
+                  file=sys.stderr)
+            return 2
+        payloads = [delta]
+
+    for delta in payloads:
+        payload = {"op": "update", "model": args.model, **delta}
+        try:
+            response = request_over_socket(host, port, payload, timeout=args.timeout)
+        except (ConnectionError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        response.pop("op", None)  # parse_line defaults it in; not part of the answer
+        print(json.dumps(response, indent=2, sort_keys=True))
+        if not response.get("ok"):
+            return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -467,6 +564,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "query":
         return _cmd_query(args)
+
+    if args.command == "update":
+        return _cmd_update(args)
 
     if args.command == "backends":
         from repro.backends.registry import available_backends

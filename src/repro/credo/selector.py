@@ -27,6 +27,7 @@ from repro.ml.forest import RandomForestClassifier
 __all__ = [
     "CredoSelector",
     "COMPILED_AUTO_MIN_EDGES",
+    "INCREMENTAL_DIRTY_MAX_FRACTION",
     "SHARD_AUTO_MIN_EDGES",
     "cuda_pivot_nodes",
 ]
@@ -35,6 +36,11 @@ __all__ = [
 #: exchange + barrier dwarfs what shard parallelism saves, so the
 #: automatic path keeps small graphs on the single-engine fast path
 SHARD_AUTO_MIN_EDGES = 500_000
+
+#: above this dirty fraction an incremental re-convergence stops paying:
+#: warm-started residual propagation re-touches most of the graph anyway,
+#: so :meth:`CredoSelector.select_update_mode` falls back to a full run
+INCREMENTAL_DIRTY_MAX_FRACTION = 0.25
 
 #: below this many directed edges the compiled executor's one-off lowering
 #: (reverse-pair masks, chunk programs, scratch buffers) costs more than
@@ -167,6 +173,23 @@ class CredoSelector:
         if not graph.uniform or graph.n_edges < SHARD_AUTO_MIN_EDGES:
             return 1
         return int(min(max_shards, max(2, graph.n_edges // SHARD_AUTO_MIN_EDGES)))
+
+    # ------------------------------------------------------------------
+    def select_update_mode(
+        self, dirty_fraction: float, *, structural: bool = True
+    ) -> str:
+        """``"incremental"`` or ``"full"`` for a graph delta (DESIGN.md §15).
+
+        A delta dirtying more than :data:`INCREMENTAL_DIRTY_MAX_FRACTION`
+        of the nodes re-touches most of the graph during warm-started
+        propagation anyway — state migration plus seeding then costs more
+        than it saves, so the engine runs a plain full convergence.
+        ``structural`` is accepted for symmetry with the call sites
+        (evidence-only deltas share the same ceiling today).
+        """
+        if dirty_fraction > INCREMENTAL_DIRTY_MAX_FRACTION:
+            return "full"
+        return "incremental"
 
     # ------------------------------------------------------------------
     def select_executor(self, graph: BeliefGraph, backend: str) -> str:

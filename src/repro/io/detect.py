@@ -47,18 +47,32 @@ def detect_format(path: str | Path) -> str:
     raise ValueError(f"cannot determine the format of {path}")
 
 
-def load_graph(path: str | Path, edge_path: str | Path | None = None, *, layout: str = "aos") -> BeliefGraph:
+def load_graph(
+    path: str | Path,
+    edge_path: str | Path | None = None,
+    *,
+    layout: str = "aos",
+    stream: bool = False,
+    chunk_edges: int = 65536,
+) -> BeliefGraph:
     """Load a belief graph from any supported format.
 
     For the MTX dual-file format pass the node file as ``path`` and the
     edge file as ``edge_path`` (defaulting to the node path with an
-    ``.edges`` suffix).
+    ``.edges`` suffix).  ``stream=True`` routes MTX input through the
+    bounded-memory streaming loader (:mod:`repro.stream.loader`),
+    buffering at most ``chunk_edges`` edge lines at a time — the path
+    for graphs too large to parse through intermediate edge lists.
     """
     path = Path(path)
     fmt = detect_format(path)
-    if fmt == "bif":
-        return network_to_belief_graph(parse_bif_file(path), layout=layout)
-    if fmt == "xmlbif":
+    if fmt in ("bif", "xmlbif"):
+        if stream:
+            raise ValueError(
+                f"streaming is only supported for the MTX dual-file format, not {fmt!r}"
+            )
+        if fmt == "bif":
+            return network_to_belief_graph(parse_bif_file(path), layout=layout)
         return network_to_belief_graph(parse_xmlbif_file(path), layout=layout)
     if edge_path is None:
         edge_path = path.with_suffix(".edges")
@@ -67,4 +81,8 @@ def load_graph(path: str | Path, edge_path: str | Path | None = None, *, layout:
                 f"MTX input needs an edge file: {edge_path} not found "
                 "(pass edge_path explicitly)"
             )
+    if stream:
+        from repro.stream.loader import load_graph_stream  # deferred: io ← stream cycle
+
+        return load_graph_stream(path, edge_path, layout=layout, chunk_edges=chunk_edges)
     return read_mtx_graph(path, edge_path, layout=layout)

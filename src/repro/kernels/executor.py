@@ -37,6 +37,7 @@ __all__ = [
     "EXECUTORS",
     "SweepExecutor",
     "InterpretedExecutor",
+    "cached_executor",
     "make_executor",
     "normalize_executor",
 ]
@@ -151,3 +152,31 @@ def make_executor(
     from repro.kernels.compiled import CompiledExecutor  # deferred: heavier
 
     return CompiledExecutor(state, paradigm=paradigm, chunks=chunks)
+
+
+def cached_executor(
+    cache: dict | None,
+    name: str,
+    state: LoopyState,
+    *,
+    paradigm: str = "node",
+    chunks: int = 8,
+) -> SweepExecutor:
+    """:func:`make_executor`, memoized in ``cache`` (a plain dict).
+
+    Compiled executors lower against a specific state's buffer
+    identities, so a cached lowering is only sound while those buffers
+    persist.  The incremental engine (:mod:`repro.stream.incremental`)
+    owns the cache: evidence-only deltas mutate the state's rows in
+    place and keep it; structural deltas rebuild the state and clear it.
+    ``cache=None`` degrades to an uncached build.
+    """
+    if cache is None:
+        return make_executor(name, state, paradigm=paradigm, chunks=chunks)
+    key = (normalize_executor(name), paradigm, chunks)
+    executor = cache.get(key)
+    if executor is None:
+        executor = cache[key] = make_executor(
+            name, state, paradigm=paradigm, chunks=chunks
+        )
+    return executor

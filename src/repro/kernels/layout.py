@@ -76,6 +76,7 @@ def with_layout(graph: BeliefGraph, layout: str) -> BeliefGraph:
     clone.out_offsets, clone.out_edge_ids = graph.out_offsets, graph.out_edge_ids
     clone.observed = graph.observed.copy()
     clone.observed_state = graph.observed_state.copy()
+    clone.reserved_nbytes = graph.reserved_nbytes
     clone._name_to_id = graph._name_to_id
     clone._feature_cache = graph._feature_cache
     return clone

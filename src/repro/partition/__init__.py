@@ -19,6 +19,7 @@ from repro.partition.partitioners import (
     PARTITIONERS,
     Partition,
     bfs_partition,
+    extend_partition,
     greedy_partition,
     hash_partition,
     make_partition,
@@ -31,6 +32,7 @@ __all__ = [
     "OverPartition",
     "Partition",
     "bfs_partition",
+    "extend_partition",
     "greedy_partition",
     "hash_partition",
     "make_partition",

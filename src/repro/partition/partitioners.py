@@ -53,6 +53,7 @@ __all__ = [
     "PARTITIONERS",
     "Partition",
     "bfs_partition",
+    "extend_partition",
     "greedy_partition",
     "hash_partition",
     "make_partition",
@@ -264,6 +265,38 @@ def make_partition(
     else:
         assignment = _STRATEGIES[canonical](graph, n_shards, seed)
     return _measure(graph, assignment, n_shards, canonical)
+
+
+def extend_partition(partition: Partition, graph: BeliefGraph) -> Partition:
+    """Re-measure ``partition`` on a mutated ``graph``, placing new nodes.
+
+    The incremental-repartition path (DESIGN.md §15): existing
+    assignments are preserved verbatim — a small delta must not reshuffle
+    the shards the serving layer has generation keys for — while nodes
+    beyond the old assignment's length are placed greedily by neighbour
+    affinity (the LDG objective of :func:`greedy_partition`, least-loaded
+    tie-break).  Cut and balance statistics are recomputed on the new
+    structure, so downstream consumers keep reading measured numbers.
+    """
+    old = np.asarray(partition.assignment, dtype=np.int64)
+    n_old, n_new = len(old), graph.n_nodes
+    if n_new < n_old:
+        raise ValueError("graphs never shrink; detach nodes instead of dropping them")
+    n_shards = partition.n_shards
+    assignment = np.full(n_new, -1, dtype=np.int64)
+    assignment[:n_old] = old
+    if n_new > n_old:
+        load = np.bincount(old, minlength=n_shards).astype(float)
+        for v in range(n_old, n_new):
+            neigh = assignment[
+                np.concatenate((graph.parents(v), graph.children(v)))
+            ]
+            placed = neigh[neigh >= 0]
+            affinity = np.bincount(placed, minlength=n_shards).astype(float)
+            best = int(np.argmax(affinity - 1e-9 * load))  # tie-break: least loaded
+            assignment[v] = best
+            load[best] += 1.0
+    return _measure(graph, assignment, n_shards, partition.method)
 
 
 def hash_partition(graph: BeliefGraph, n_shards: int, *, seed: int = 0) -> Partition:

@@ -20,7 +20,7 @@ __all__ = ["ResultCache", "cache_key", "freeze_evidence", "copy_posteriors"]
 
 def cache_key(
     model: str,
-    generation: int,
+    generation: int | tuple,
     evidence: tuple[tuple[int, int], ...],
     threshold: float,
     max_iterations: int,
@@ -31,6 +31,13 @@ def cache_key(
 ) -> tuple:
     """Canonical cache key; ``evidence`` must be sorted (node, state) pairs.
 
+    ``generation`` is either the plain registration generation or a
+    mutable model's full generation *signature* — the registration
+    generation plus every per-shard update generation
+    (:meth:`~repro.serve.registry.RegisteredModel.generation_signature`).
+    Any delta bump anywhere changes the signature, so stale posteriors
+    are unreachable after an ``update``: BP posteriors are globally
+    coupled, and the key must reflect the whole graph's state.
     ``policy``/``staleness`` distinguish sync from stale-synchronous
     sharded executions — async posteriors are approximate, so they never
     alias a sync entry.

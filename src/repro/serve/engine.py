@@ -172,7 +172,7 @@ class QueryEngine:
     def _key(self, model: RegisteredModel, frozen: tuple) -> tuple:
         return cache_key(
             model.name,
-            model.generation,
+            model.generation_signature(),
             frozen,
             self.config.threshold,
             self.config.max_iterations,

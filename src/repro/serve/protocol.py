@@ -15,6 +15,15 @@ One JSON object per line, request → response.  Operations:
     Register a graph file under a name.
 ``{"op": "reload", "model": "m"}``
     Re-parse a file-backed model (bumps its generation).
+``{"op": "update", "model": "m", "add_nodes": [...], "add_edges": [...]}``
+    Apply a structural :class:`~repro.stream.delta.GraphDelta` to a
+    registered model in place.  Delta keys (at least one required):
+    ``add_nodes``, ``add_edges``, ``remove_edges``, ``detach_nodes`` —
+    the payload forms accepted by
+    :meth:`~repro.stream.delta.GraphDelta.from_payload`.  Evidence keys
+    (``observe``/``release``) are rejected: registered masters stay
+    evidence-free, evidence travels with queries.  Bumps the per-shard
+    update generations of the shards the delta touches.
 ``{"op": "shutdown"}``
     Stop the server loop.
 
@@ -29,7 +38,14 @@ import json
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["ProtocolError", "QueryRequest", "QueryResponse", "parse_line", "dump"]
+__all__ = [
+    "ProtocolError",
+    "QueryRequest",
+    "QueryResponse",
+    "UpdateRequest",
+    "parse_line",
+    "dump",
+]
 
 
 class ProtocolError(ValueError):
@@ -76,6 +92,51 @@ class QueryRequest:
             deadline_s=deadline,
             use_cache=bool(payload.get("use_cache", True)),
         )
+
+
+#: delta payload keys an ``update`` request may carry
+_DELTA_KEYS = ("add_nodes", "add_edges", "remove_edges", "detach_nodes")
+
+
+@dataclass
+class UpdateRequest:
+    """One structural graph delta, as received off the wire.
+
+    The delta itself stays a plain payload dict here — the serve layer
+    hands it to :meth:`repro.serve.registry.ModelRegistry.update`, which
+    validates it via :meth:`~repro.stream.delta.GraphDelta.from_payload`
+    against the actual graph.  This class only enforces the wire shape.
+    """
+
+    model: str
+    delta: dict
+    id: str | None = None
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "UpdateRequest":
+        model = payload.get("model")
+        if not isinstance(model, str) or not model:
+            raise ProtocolError("update needs a 'model' string")
+        if "observe" in payload or "release" in payload:
+            raise ProtocolError(
+                "updates must not carry evidence; send it with queries"
+            )
+        delta: dict = {}
+        for key in _DELTA_KEYS:
+            if key not in payload:
+                continue
+            value = payload[key]
+            if not isinstance(value, list):
+                raise ProtocolError(f"'{key}' must be a list")
+            delta[key] = value
+        if not delta:
+            raise ProtocolError(
+                "update needs at least one delta key: " + ", ".join(_DELTA_KEYS)
+            )
+        request_id = payload.get("id")
+        if request_id is not None:
+            request_id = str(request_id)
+        return cls(model=model, delta=delta, id=request_id)
 
 
 @dataclass

@@ -10,7 +10,11 @@ against that graph.
 
 Every registered model carries a monotonically increasing *generation*;
 :meth:`reload` bumps it, which atomically invalidates result-cache
-entries (the generation is part of the cache key).
+entries (the generation is part of the cache key).  Mutable models
+additionally carry per-shard update generations: :meth:`update` applies
+a :class:`~repro.stream.delta.GraphDelta` in place, bumping only the
+slots of the shards the delta touches — the full signature
+(:meth:`RegisteredModel.generation_signature`) is what cache keys embed.
 """
 
 from __future__ import annotations
@@ -53,17 +57,37 @@ class RegisteredModel:
     #: the plan is sharded — built once at registration, queries take
     #: cheap :meth:`~repro.core.sharded.ShardedGraph.instance` views
     sharded: Any = None
+    #: per-shard update generations (one slot for unsharded models);
+    #: ``update`` bumps only the slots a delta's dirty region touches
+    shard_generations: tuple = ()
+    #: cumulative ``update`` deltas applied since registration
+    updates_applied: int = 0
     #: per-batch-width replica graphs, reused across micro-batches
     #: (managed by the engine; dropped on reload)
     union_cache: dict[int, Any] = field(default_factory=dict)
     #: serializes execution against this model's cached unions
     lock: threading.Lock = field(default_factory=threading.Lock)
 
+    def generation_signature(self) -> tuple:
+        """The cache-key generation component: registration generation
+        plus every per-shard update generation.
+
+        BP posteriors are globally coupled — a structural change anywhere
+        can, in principle, move any posterior — so cached results must
+        key on the *full* signature: any shard bump invalidates every
+        entry for the model.  The per-shard scoping pays off elsewhere:
+        execution-state reuse (partition extension, preserved compiled
+        lowerings) and observability of which shards churn.
+        """
+        return (self.generation, *self.shard_generations)
+
     def describe(self) -> dict:
         """Plain-dict summary (the ``{"op": "models"}`` response)."""
         info = {
             "name": self.name,
             "generation": self.generation,
+            "shard_generations": list(self.shard_generations),
+            "updates_applied": int(self.updates_applied),
             "n_nodes": int(self.graph.n_nodes),
             "n_edges": int(self.graph.n_edges),
             "n_states": int(self.graph.n_states),
@@ -164,9 +188,62 @@ class ModelRegistry:
                 generation=self._generation,
                 select_time_s=select_time,
                 sharded=sharded,
+                shard_generations=(0,)
+                * (sharded.partition.n_shards if sharded is not None else 1),
             )
             self._models[name] = model
         return model
+
+    def update(self, name: str, delta) -> tuple[RegisteredModel, Any]:
+        """Apply a :class:`~repro.stream.delta.GraphDelta` to a model.
+
+        Only the per-shard generations of the shards the delta's dirty
+        region touches are bumped (the generation signature still
+        changes as a whole — see
+        :meth:`RegisteredModel.generation_signature`).  On sharded
+        models, structural deltas extend the existing partition
+        (:func:`repro.partition.extend_partition`) instead of
+        repartitioning, so untouched shards keep their node sets.
+        Returns ``(model, DeltaResult)``.
+        """
+        from repro.stream.delta import GraphDelta, apply_delta
+
+        if isinstance(delta, dict):
+            delta = GraphDelta.from_payload(delta)
+        if delta.observe or delta.release:
+            raise ValueError(
+                "registered models stay evidence-free; send evidence with "
+                "queries, not updates"
+            )
+        model = self.get(name)
+        with model.lock:
+            result = apply_delta(model.graph, delta)
+            if model.sharded is not None:
+                from repro.core.sharded import ShardedGraph
+
+                from repro.partition import extend_partition
+
+                part = extend_partition(model.sharded.partition, result.graph)
+                touched = (
+                    {int(s) for s in np.unique(part.assignment[result.dirty_nodes])}
+                    if len(result.dirty_nodes)
+                    else set()
+                )
+                model.sharded = ShardedGraph.build(result.graph, part)
+                width = part.n_shards
+            else:
+                touched = {0} if not delta.empty else set()
+                width = 1
+            gens = list(model.shard_generations)
+            gens.extend(0 for _ in range(width - len(gens)))
+            for shard in touched:
+                gens[shard] += 1
+            model.shard_generations = tuple(gens)
+            model.graph = result.graph
+            model.features = extract_features(result.graph)
+            model.union_cache.clear()
+            model.updates_applied += 1
+        return model, result
 
     def reload(self, name: str) -> RegisteredModel:
         """Re-parse a file-backed model; bumps the generation.

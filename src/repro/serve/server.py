@@ -103,6 +103,17 @@ class InferenceServer:
         self.cache.invalidate_model(name)
         return model
 
+    def update_model(self, name: str, delta):
+        """Apply a :class:`~repro.stream.delta.GraphDelta` (or its payload
+        dict) to a registered model; returns ``(model, DeltaResult)``.
+
+        The generation-signature bump already makes stale cache entries
+        unreachable — the eager invalidation only frees their memory.
+        """
+        model, result = self.registry.update(name, delta)
+        self.cache.invalidate_model(name)
+        return model, result
+
     # -- request path ---------------------------------------------------
     def submit(self, request: QueryRequest) -> Ticket:
         """Admit one query; returns a ticket whose ``future`` resolves to

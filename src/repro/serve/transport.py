@@ -16,7 +16,13 @@ import time
 from typing import IO
 
 from repro.serve.admission import AdmissionRejected
-from repro.serve.protocol import ProtocolError, QueryRequest, dump, parse_line
+from repro.serve.protocol import (
+    ProtocolError,
+    QueryRequest,
+    UpdateRequest,
+    dump,
+    parse_line,
+)
 from repro.serve.server import InferenceServer
 
 __all__ = ["handle_op", "serve_stdin", "serve_socket", "request_over_socket"]
@@ -69,6 +75,31 @@ def handle_op(server: InferenceServer, payload: dict) -> tuple[dict, bool]:
         except Exception as exc:
             return {"ok": False, "error": "reload_failed", "detail": str(exc)}, True
         return {"ok": True, "model": model.describe()}, True
+    if op == "update":
+        try:
+            request = UpdateRequest.from_payload(payload)
+        except ProtocolError as exc:
+            return {"ok": False, "error": "bad_request", "detail": str(exc)}, True
+        try:
+            model, result = server.update_model(request.model, request.delta)
+        except Exception as exc:
+            return {"ok": False, "error": "update_failed", "detail": str(exc)}, True
+        response = {
+            "ok": True,
+            "model": model.describe(),
+            "update": {
+                "structural": bool(result.structural),
+                "dirty_nodes": int(len(result.dirty_nodes)),
+                "dirty_fraction": float(result.dirty_fraction),
+                "added_nodes": int(result.added_nodes),
+                "added_edges": int(result.added_edges),
+                "removed_edges": int(result.removed_edges),
+                "generation_signature": list(model.generation_signature()),
+            },
+        }
+        if request.id is not None:
+            response["id"] = request.id
+        return response, True
     if op == "shutdown":
         return {"ok": True, "stopping": True}, False
     return {"ok": False, "error": "unknown_op", "detail": f"op {op!r}"}, True

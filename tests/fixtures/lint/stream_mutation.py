@@ -1,0 +1,52 @@
+"""RPR306 fixture: direct mutation of a registered model's frozen graph."""
+
+
+def bad_structure_write(model):
+    model.graph.src[0] = 3  # FINDING: frozen structure array
+
+
+def bad_prior_swap(model, new_priors):
+    model.graph.priors = new_priors  # FINDING: rebinding a frozen store
+
+
+def bad_augmented(model):
+    model.graph.observed_state[2] += 1  # FINDING: frozen evidence array
+
+
+def bad_chained_lookup(registry):
+    registry.get("m").graph.beliefs[0] = 0.5  # FINDING: chained through a call
+
+
+def bad_self_graph(self, rev):
+    self.graph.reverse_edge = rev  # FINDING: frozen structure array
+
+
+def bad_observe_master(observe, model):
+    observe(model.graph, 3, 1)  # FINDING: evidence on the master
+
+
+def bad_clear_master(clear_observations, server):
+    clear_observations(server.registry.get("m").graph)  # FINDING: evidence on the master
+
+
+def good_bare_graph(graph):
+    # a bare local graph is the caller's own copy, not a registered master
+    graph.observed[3] = True
+    graph.src[0] = 1
+
+
+def good_delta(model, delta, apply_delta):
+    return apply_delta(model.graph, delta)
+
+
+def good_read(model):
+    return model.graph.src[0], model.graph.priors.dense()
+
+
+def good_observe_view(observe, view):
+    observe(view, 3, 1)
+
+
+def good_unrelated_attr(model):
+    model.graph_cache = {}
+    model.plan = None

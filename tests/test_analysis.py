@@ -96,6 +96,11 @@ class TestHygieneRules:
         assert "staleness-free" in messages  # sync+staleness names the fix
         assert "does not resolve" in messages
 
+    def test_frozen_graph_mutation(self):
+        result = assert_matches_markers("RPR306", "stream_mutation.py")
+        messages = " ".join(f.message for f in result.findings)
+        assert "GraphDelta" in messages
+
     def test_unknown_executor_layout(self):
         result = assert_matches_markers("RPR305", "executor_layout.py")
         messages = " ".join(f.message for f in result.findings)

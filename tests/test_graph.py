@@ -133,10 +133,15 @@ class TestState:
             _priors(10), np.array([[0, 1], [1, 2]]), attractive_potential(2, 0.8)
         )
         fp = g.memory_footprint()
-        assert set(fp) == {"beliefs", "priors", "potentials", "adjacency", "metadata"}
-        assert all(v > 0 for k, v in fp.items() if k != "metadata")
+        assert set(fp) == {
+            "beliefs", "priors", "potentials", "adjacency", "metadata", "reserved",
+        }
+        assert all(v > 0 for k, v in fp.items() if k not in ("metadata", "reserved"))
         # the lazy caches are empty until first use, then counted
         assert fp["metadata"] == 0
+        # a batch-constructed graph is tightly packed; only the streaming
+        # builder's amortized-growth slack lands in "reserved"
+        assert fp["reserved"] == 0
         g.node_id("3")  # builds the name -> id map
         g._feature_cache["features"] = np.zeros(5, dtype=np.float64)
         fp2 = g.memory_footprint()
